@@ -1,0 +1,107 @@
+"""A4 — ablation: burst interleaving on/off (symbol domain).
+
+Rolling-shutter splits and local blur damage *rows*, i.e. bursts of
+consecutive wire bytes.  The interleaver spreads each RS codeword across
+the code area so a row burst becomes ~1 error per codeword.  This
+ablation injects row bursts of growing size into the symbol stream and
+compares frame survival with and without interleaving.
+
+Expected: with interleaving, frames survive until the total damage
+approaches the aggregate RS budget; without it, a single burst larger
+than one codeword's correction budget (4 bytes = 16 symbols) already
+kills frames.
+"""
+
+import numpy as np
+from sweeps import rainbar_config
+
+from repro.bench import format_series, random_payload
+from repro.coding.interleave import Interleaver
+from repro.core.decoder import assemble_frame
+from repro.core.encoder import FrameEncoder
+from repro.core.palette import DATA_COLORS
+
+BURST_ROWS = [0, 1, 2, 4, 6]
+TRIALS = 6
+
+
+def _truth_symbols(config, frame):
+    table = np.full(8, -1, dtype=np.int64)
+    for sym, color in enumerate(DATA_COLORS):
+        table[int(color)] = sym
+    cells = config.layout.data_cells
+    return table[frame.grid[cells[:, 0], cells[:, 1]]]
+
+
+def _survival(config, interleaved: bool, burst_rows: int) -> float:
+    """Fraction of frames that decode with a *burst_rows*-row burst.
+
+    Both variants corrupt the same contiguous stretch of *transmitted*
+    bytes (what a damaged band of rows produces).  With interleaving the
+    sender's scramble means that stretch deinterleaves into isolated
+    per-codeword errors; without it the stretch lands inside consecutive
+    codeword bytes.  The no-interleave case is emulated by corrupting
+    the codeword-order stream directly and re-scrambling, so
+    :func:`assemble_frame`'s unscramble cancels exactly.
+    """
+    from repro.core.palette import bytes_to_symbols, symbols_to_bytes
+
+    encoder = FrameEncoder(config)
+    interleaver = Interleaver(config.chunks_per_frame)
+    used = 4 * config.coded_bytes_per_frame
+    bytes_per_row = max(1, used // 4 // len(set(config.layout.symbol_rows)))
+    burst_bytes = burst_rows * bytes_per_row
+
+    ok = 0
+    for trial in range(TRIALS):
+        payload = random_payload(config.payload_bytes_per_frame, seed=trial)
+        frame = encoder.encode_frame(payload, sequence=trial)
+        symbols = _truth_symbols(config, frame)
+        wire = symbols_to_bytes(symbols[:used])  # as transmitted (scrambled)
+
+        rng = np.random.default_rng(100 + trial)
+        if interleaved:
+            stream = bytearray(wire)
+        else:
+            stream = bytearray(interleaver.unscramble(wire))  # codeword order
+        if burst_bytes > 0:
+            start = int(rng.integers(0, len(stream) - burst_bytes))
+            for i in range(start, start + burst_bytes):
+                stream[i] ^= 0x55
+        if not interleaved:
+            stream = bytearray(interleaver.scramble(bytes(stream)))
+
+        merged = symbols.copy()
+        merged[:used] = bytes_to_symbols(bytes(stream))
+        result = assemble_frame(config, frame.header, merged)
+        ok += int(result.ok and result.payload == frame.payload)
+    return ok / TRIALS
+
+
+def run_sweep():
+    config = rainbar_config(display_rate=10)
+    series = {"interleaved": [], "not_interleaved": []}
+    for rows in BURST_ROWS:
+        series["interleaved"].append(round(_survival(config, True, rows), 3))
+        series["not_interleaved"].append(round(_survival(config, False, rows), 3))
+    return series
+
+
+def test_ablation_interleaving(benchmark, record):
+    series = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    record(
+        "A4_ablation_interleaving",
+        format_series(
+            "burst_rows",
+            BURST_ROWS,
+            series,
+            title="A4: frame survival vs row-burst size, with/without interleaving",
+        ),
+    )
+    inter = series["interleaved"]
+    plain = series["not_interleaved"]
+    assert inter[0] == 1.0 and plain[0] == 1.0
+    # Interleaving survives strictly larger bursts.
+    for i, p in zip(inter, plain):
+        assert i >= p
+    assert sum(inter) > sum(plain)

@@ -1,0 +1,54 @@
+"""A3 — ablation: tracking-bar frame synchronization on/off.
+
+Runs the same high-display-rate streams through (a) the full receiver
+and (b) a receiver that ignores the tracking bars and assumes every
+capture holds a single frame (COBRA's behaviour on RainBar's layout).
+
+Expected: below f_c/2 both work (blur assessment alone suffices); above
+it the no-sync receiver's decoding rate collapses while the tracking
+bars keep the link alive — the mechanism behind Fig. 11.
+"""
+
+from conftest import NUM_FRAMES, SEEDS
+from sweeps import rainbar_point
+
+from repro.bench import format_series
+
+DISPLAY_RATES = [10, 14, 18, 22]
+
+
+def run_sweep():
+    series = {"with_tracking_bars": [], "without_sync": []}
+    for rate in DISPLAY_RATES:
+        sync = rainbar_point(SEEDS, max(NUM_FRAMES, 3), display_rate=rate)
+        nosync = rainbar_point(
+            SEEDS,
+            max(NUM_FRAMES, 3),
+            display_rate=rate,
+            decoder_kwargs={"use_tracking_bars": False},
+        )
+        series["with_tracking_bars"].append(round(sync.decoding_rate, 3))
+        series["without_sync"].append(round(nosync.decoding_rate, 3))
+    return series
+
+
+def test_ablation_frame_sync(benchmark, record):
+    series = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    record(
+        "A3_ablation_sync",
+        format_series(
+            "display_fps",
+            DISPLAY_RATES,
+            series,
+            title="A3: decoding rate with/without tracking-bar sync "
+            "(b_s=12, d=12cm, f_c=30, handheld)",
+        ),
+    )
+    sync = series["with_tracking_bars"]
+    nosync = series["without_sync"]
+    # Low rate: both fine.
+    assert sync[0] >= 0.9 and nosync[0] >= 0.9
+    # High rates: sync receiver clearly ahead.
+    assert sync[-1] > nosync[-1]
+    high = slice(DISPLAY_RATES.index(18), None)
+    assert sum(sync[high]) > sum(nosync[high])

@@ -1,0 +1,72 @@
+"""E11 — Section III-B encoding-capacity comparison (in-text table).
+
+Reproduces the paper's block-count arithmetic on the Galaxy S4 grid
+(1920x1080 at 13x13-px blocks = 147x83) for RainBar, COBRA and RDCode,
+and cross-checks the concrete layouts of this library at the scaled
+default grid.
+
+Expected: RainBar > COBRA > RDCode, with RainBar's gain over COBRA at
+663 blocks (~166 bytes per frame).
+"""
+
+from repro.baselines.cobra import CobraLayout
+from repro.baselines.rdcode import RDCodeLayout
+from repro.bench import default_layout, format_table
+from repro.core.capacity import (
+    capacity_report,
+    cobra_code_blocks,
+    galaxy_s4_grid,
+    rainbar_code_blocks_paper,
+    rdcode_code_blocks,
+)
+
+
+def build_report() -> str:
+    cols, rows = galaxy_s4_grid(13)
+    rainbar = rainbar_code_blocks_paper(cols, rows)
+    cobra = cobra_code_blocks(cols, rows)
+    rdcode = rdcode_code_blocks(cols, rows)
+    paper_rows = [
+        ["RainBar", rainbar, rainbar * 2 // 8, "11520"],
+        ["COBRA", cobra, cobra * 2 // 8, "10857"],
+        ["RDCode", rdcode, rdcode * 2 // 8, "10508 (printed; formula gives 9798)"],
+    ]
+    paper_table = format_table(
+        ["system", "code blocks", "bytes/frame", "paper value"],
+        paper_rows,
+        title="E11a: S4 full-scale capacity (Section III-B arithmetic)",
+    )
+
+    layout = default_layout()
+    rb_report = capacity_report(layout)
+    cb = CobraLayout(layout.grid_rows, layout.grid_cols, layout.block_px)
+    rd = RDCodeLayout(layout.grid_rows, layout.grid_cols, square=8)
+    impl_rows = [
+        ["RainBar", rb_report.data_cells, rb_report.data_bytes],
+        ["COBRA", len(cb.data_cells), cb.data_capacity_bytes],
+        ["RDCode", rd.data_blocks, rd.data_capacity_bytes],
+    ]
+    impl_table = format_table(
+        ["system", "data cells", "bytes/frame"],
+        impl_rows,
+        title="E11b: concrete layouts at the scaled default grid (60 x 34)",
+    )
+    return paper_table + "\n\n" + impl_table
+
+
+def test_capacity_comparison(benchmark, record):
+    report = benchmark.pedantic(build_report, rounds=1, iterations=1)
+    record("E11_capacity", report)
+
+    cols, rows = galaxy_s4_grid(13)
+    rainbar = rainbar_code_blocks_paper(cols, rows)
+    cobra = cobra_code_blocks(cols, rows)
+    rdcode = rdcode_code_blocks(cols, rows)
+    assert rainbar == 11520
+    assert cobra == 10857
+    assert rainbar - cobra == 663
+    assert rdcode < cobra < rainbar
+
+    layout = default_layout()
+    cb = CobraLayout(layout.grid_rows, layout.grid_cols, layout.block_px)
+    assert capacity_report(layout).data_cells > len(cb.data_cells)

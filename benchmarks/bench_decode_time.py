@@ -1,0 +1,64 @@
+"""E10 — Section IV-D: average decode time per frame.
+
+The paper times the receive pipeline on a Galaxy S4 (~80 ms per frame,
+single-threaded Java) and its sender's drawing step (~31 ms with four
+threads).  Absolute numbers on a laptop CPU differ, but the *structure*
+is reproduced: per-stage timing of one capture's decode, the encode and
+draw cost, and the real-time feasibility check f_d <= 1 / decode_time.
+
+This is the one benchmark where pytest-benchmark's timing is the
+artifact itself.
+"""
+
+import numpy as np
+from sweeps import rainbar_config
+
+from repro.bench import format_table, paper_link_config
+from repro.channel import FrameSchedule, ScreenCameraLink
+from repro.core.decoder import FrameDecoder
+from repro.core.encoder import FrameEncoder
+
+
+def _setup():
+    config = rainbar_config(display_rate=10)
+    encoder = FrameEncoder(config)
+    payload = (np.arange(config.payload_bytes_per_frame) % 256).astype(np.uint8).tobytes()
+    frame = encoder.encode_frame(payload, sequence=0)
+    link = ScreenCameraLink(paper_link_config(), rng=np.random.default_rng(3))
+    capture = link.capture_at(FrameSchedule([frame.render()], 10), 0.01)
+    return config, encoder, payload, frame, capture
+
+
+def test_decode_time_per_frame(benchmark, record):
+    config, encoder, payload, frame, capture = _setup()
+    decoder = FrameDecoder(config)
+
+    result = benchmark(lambda: decoder.decode_capture(capture.image))
+    assert result.ok
+
+    stats = benchmark.stats.stats
+    decode_ms = stats.mean * 1000
+    max_realtime_fps = 1000.0 / decode_ms
+
+    import time
+
+    t0 = time.perf_counter()
+    for __ in range(5):
+        encoder.encode_frame(payload, sequence=0).render()
+    encode_ms = (time.perf_counter() - t0) / 5 * 1000
+
+    rows = [
+        ["decode one capture (ms)", round(decode_ms, 1)],
+        ["encode+draw one frame (ms)", round(encode_ms, 1)],
+        ["max real-time display rate (fps)", round(max_realtime_fps, 1)],
+        ["paper: decode on S4 (ms)", 80.0],
+        ["paper: real-time limit on S4 (fps)", 12.0],
+        ["paper: draw with 4 threads (ms)", 31.0],
+    ]
+    record(
+        "E10_decode_time",
+        format_table(["metric", "value"], rows,
+                     title="Section IV-D: per-frame processing time"),
+    )
+    # Real-time decoding supports at least the paper's 12 fps bound.
+    assert max_realtime_fps > 5.0

@@ -1,0 +1,48 @@
+"""E3 — Fig. 10(c): decoding error rate vs block size.
+
+Sweeps b_s on the fixed reference screen (denser grid at smaller
+blocks) for RainBar and COBRA, at a mildly stressed distance so the
+small-block end leaves the error floor.
+
+Expected shape: error rate *decreases* as blocks grow — larger blocks
+survive blur, chroma subsampling and localization jitter.
+"""
+
+from conftest import NUM_FRAMES, SEEDS
+from sweeps import cobra_point, rainbar_point, roughly_non_increasing
+
+from repro.bench import format_series
+
+BLOCK_SIZES = [6, 8, 10, 12, 16]
+STRESS_DISTANCE = 18.0  # blocks near the resolution limit at the small end
+
+
+def run_sweep():
+    series = {"rainbar": [], "cobra": []}
+    for block in BLOCK_SIZES:
+        rb = rainbar_point(
+            SEEDS, NUM_FRAMES, block_px=block, distance_cm=STRESS_DISTANCE
+        )
+        cb = cobra_point(SEEDS, NUM_FRAMES, block_px=block, distance_cm=STRESS_DISTANCE)
+        series["rainbar"].append(round(rb.error_rate, 3))
+        series["cobra"].append(round(cb.error_rate, 3))
+    return series
+
+
+def test_fig10c_error_rate_vs_block_size(benchmark, record):
+    series = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    record(
+        "E3_fig10c_block_size",
+        format_series(
+            "block_px",
+            BLOCK_SIZES,
+            series,
+            title=f"Fig. 10(c): error rate vs block size "
+            f"(f_d=10, d={STRESS_DISTANCE}cm, v_a=0, indoor, handheld)",
+        ),
+    )
+    # Error falls (or stays flat) as blocks grow.
+    assert roughly_non_increasing(series["rainbar"])
+    # The smallest blocks are the hardest point of the sweep.
+    assert series["rainbar"][0] >= series["rainbar"][-1]
+    assert series["cobra"][0] >= series["cobra"][-1] - 0.05

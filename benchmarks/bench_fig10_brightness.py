@@ -1,0 +1,51 @@
+"""E4 — Fig. 10(d): decoding error rate vs screen brightness.
+
+Sweeps the sender's brightness setting s_b indoors and outdoors for
+RainBar, plus COBRA indoors.
+
+Expected shapes: error falls as brightness rises (better SNR and
+black/color separation); outdoor error sits above indoor error at every
+setting ("the error rate is much higher ... outdoor").
+"""
+
+from conftest import NUM_FRAMES, SEEDS
+from sweeps import cobra_point, rainbar_point, roughly_non_increasing
+
+from repro.bench import format_series
+from repro.channel import outdoor
+
+BRIGHTNESS = [0.2, 0.4, 0.6, 0.8, 1.0]
+
+
+def run_sweep():
+    series = {"rainbar_indoor": [], "rainbar_outdoor": [], "cobra_indoor": []}
+    for s_b in BRIGHTNESS:
+        rb_in = rainbar_point(SEEDS, NUM_FRAMES, brightness=s_b)
+        rb_out = rainbar_point(SEEDS, NUM_FRAMES, brightness=s_b, environment=outdoor())
+        cb_in = cobra_point(SEEDS, NUM_FRAMES, brightness=s_b)
+        series["rainbar_indoor"].append(round(rb_in.error_rate, 3))
+        series["rainbar_outdoor"].append(round(rb_out.error_rate, 3))
+        series["cobra_indoor"].append(round(cb_in.error_rate, 3))
+    return series
+
+
+def test_fig10d_error_rate_vs_brightness(benchmark, record):
+    series = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    record(
+        "E4_fig10d_brightness",
+        format_series(
+            "brightness",
+            BRIGHTNESS,
+            series,
+            title="Fig. 10(d): error rate vs screen brightness "
+            "(f_d=10, b_s=12, d=12cm, v_a=0, handheld)",
+        ),
+    )
+    # Error falls (or stays flat) as brightness rises.
+    assert roughly_non_increasing(series["rainbar_indoor"])
+    assert roughly_non_increasing(series["rainbar_outdoor"])
+    # Outdoors is never easier than indoors.
+    for out_e, in_e in zip(series["rainbar_outdoor"], series["rainbar_indoor"]):
+        assert out_e >= in_e - 0.05
+    # Full brightness indoors is (near) error-free.
+    assert series["rainbar_indoor"][-1] <= 0.05

@@ -1,0 +1,54 @@
+"""E1 — Fig. 10(a): decoding error rate vs distance.
+
+Sweeps the screen-camera distance at the paper's default condition
+(f_d = 10 fps, 12 x 12 px blocks, frontal, 100 % brightness, indoor,
+handheld) for RainBar and COBRA, plus a small-block RainBar series.
+
+Expected shapes: error rate grows with distance (blocks shrink below
+the resolution/blur limit); RainBar's error stays at or below COBRA's
+throughout; smaller blocks degrade earlier.
+"""
+
+from conftest import NUM_FRAMES, SEEDS
+from sweeps import cobra_point, rainbar_point, roughly_non_decreasing
+
+from repro.bench import format_series
+
+DISTANCES = [8.0, 12.0, 16.0, 20.0, 24.0]
+
+
+def run_sweep():
+    series = {"rainbar_12px": [], "rainbar_8px": [], "cobra_12px": []}
+    for d in DISTANCES:
+        rb = rainbar_point(SEEDS, NUM_FRAMES, block_px=12, distance_cm=d)
+        rb8 = rainbar_point(SEEDS, NUM_FRAMES, block_px=8, distance_cm=d)
+        cb = cobra_point(SEEDS, NUM_FRAMES, block_px=12, distance_cm=d)
+        series["rainbar_12px"].append(round(rb.error_rate, 3))
+        series["rainbar_8px"].append(round(rb8.error_rate, 3))
+        series["cobra_12px"].append(round(cb.error_rate, 3))
+    return series
+
+
+def test_fig10a_error_rate_vs_distance(benchmark, record):
+    series = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    record(
+        "E1_fig10a_distance",
+        format_series(
+            "distance_cm",
+            DISTANCES,
+            series,
+            title="Fig. 10(a): error rate vs distance "
+            "(f_d=10, b_s per series, v_a=0, s_b=100%, indoor, handheld)",
+        ),
+    )
+    # Error grows (or stays flat) with distance for every system.
+    assert roughly_non_decreasing(series["rainbar_12px"])
+    assert roughly_non_decreasing(series["rainbar_8px"])
+    # RainBar no worse than COBRA at every distance.
+    for rb, cb in zip(series["rainbar_12px"], series["cobra_12px"]):
+        assert rb <= cb + 0.05
+    # The far end is measurably harder than the near end for some series.
+    assert (
+        max(series["rainbar_8px"][-1], series["cobra_12px"][-1], series["rainbar_12px"][-1])
+        > min(series["rainbar_12px"][0], series["rainbar_8px"][0])
+    )

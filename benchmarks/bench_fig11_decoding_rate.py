@@ -1,0 +1,47 @@
+"""E7 — Fig. 11(a): decoding rate vs display rate, RainBar vs COBRA.
+
+Expected shapes: both decline as f_d grows, but COBRA falls off a cliff
+once f_d exceeds f_c / 2 = 15 (mixed captures are unrecoverable without
+tracking bars), while RainBar degrades slowly.
+"""
+
+from conftest import NUM_FRAMES, SEEDS
+from sweeps import cobra_point, rainbar_point
+
+from repro.bench import format_series
+
+DISPLAY_RATES = [10, 14, 18, 22, 26]
+
+
+def run_sweep():
+    series = {"rainbar": [], "cobra": []}
+    for rate in DISPLAY_RATES:
+        rb = rainbar_point(SEEDS, max(NUM_FRAMES, 3), display_rate=rate)
+        cb = cobra_point(SEEDS, max(NUM_FRAMES, 3), display_rate=rate)
+        series["rainbar"].append(round(rb.decoding_rate, 3))
+        series["cobra"].append(round(cb.decoding_rate, 3))
+    return series
+
+
+def test_fig11a_decoding_rate_vs_display_rate(benchmark, record):
+    series = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    record(
+        "E7_fig11a_decoding_rate",
+        format_series(
+            "display_fps",
+            DISPLAY_RATES,
+            series,
+            title="Fig. 11(a): decoding rate vs display rate, RainBar vs COBRA "
+            "(b_s=12, d=12cm, f_c=30, handheld)",
+        ),
+    )
+    # RainBar >= COBRA at every rate.
+    for rb, cb in zip(series["rainbar"], series["cobra"]):
+        assert rb >= cb - 0.05
+    # Beyond f_c/2 COBRA has lost substantially more than RainBar.
+    high = slice(DISPLAY_RATES.index(18), None)
+    rb_high = sum(series["rainbar"][high]) / len(series["rainbar"][high])
+    cb_high = sum(series["cobra"][high]) / len(series["cobra"][high])
+    assert rb_high > cb_high
+    # RainBar still useful at the top rate.
+    assert series["rainbar"][-1] >= 0.4

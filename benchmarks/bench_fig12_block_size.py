@@ -1,0 +1,52 @@
+"""E5 — Fig. 12(a): RainBar decoding rate and throughput vs block size.
+
+Expected shapes: decoding rate *increases* with block size (reaching
+~100 % once blocks are comfortably resolvable); throughput *decreases*
+with block size (fewer blocks on the fixed screen).  The crossover is
+the design point the adaptive configurator navigates.
+"""
+
+from conftest import NUM_FRAMES, SEEDS
+from sweeps import rainbar_point, roughly_non_decreasing, roughly_non_increasing
+
+from repro.bench import format_series
+
+BLOCK_SIZES = [6, 8, 10, 12, 16]
+STRESS_DISTANCE = 18.0
+
+
+def run_sweep():
+    decode, throughput = [], []
+    for block in BLOCK_SIZES:
+        trial = rainbar_point(
+            SEEDS, NUM_FRAMES, block_px=block, distance_cm=STRESS_DISTANCE
+        )
+        decode.append(round(trial.decoding_rate, 3))
+        throughput.append(round(trial.throughput_bps / 1000, 2))
+    return {"decoding_rate": decode, "throughput_kbps": throughput}
+
+
+def test_fig12a_block_size(benchmark, record):
+    series = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    record(
+        "E5_fig12a_block_size",
+        format_series(
+            "block_px",
+            BLOCK_SIZES,
+            series,
+            title=f"Fig. 12(a): RainBar decoding rate & throughput vs block size "
+            f"(f_d=10, d={STRESS_DISTANCE}cm, handheld)",
+        ),
+    )
+    assert roughly_non_decreasing(series["decoding_rate"])
+    # Large blocks decode (near) perfectly.
+    assert series["decoding_rate"][-1] >= 0.95
+    # Throughput falls with block size wherever decoding has saturated;
+    # check the big-block end where decode rate is ~1 for both.
+    saturated = [
+        t for t, d in zip(series["throughput_kbps"], series["decoding_rate"]) if d >= 0.95
+    ]
+    assert roughly_non_increasing(saturated, slack=0.5)
+    # And the saturated small-block end outperforms the largest blocks.
+    if len(saturated) >= 2:
+        assert saturated[0] > saturated[-1]

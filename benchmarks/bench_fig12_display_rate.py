@@ -1,0 +1,47 @@
+"""E6 — Fig. 12(b): RainBar decoding rate and throughput vs display rate.
+
+Sweeps f_d from the blur-assessment regime (f_d <= f_c/2 = 15) deep into
+the rolling-shutter regime, with a 30 fps camera.
+
+Expected shapes: throughput grows with f_d (more frames per second);
+decoding rate declines slowly but stays high — the paper reports >= 91 %
+at 18 fps — because tracking-bar synchronization keeps mixed captures
+decodable.
+"""
+
+from conftest import NUM_FRAMES, SEEDS
+from sweeps import rainbar_point
+
+from repro.bench import format_series
+
+DISPLAY_RATES = [6, 10, 14, 18, 22]
+
+
+def run_sweep():
+    decode, throughput = [], []
+    for rate in DISPLAY_RATES:
+        trial = rainbar_point(SEEDS, max(NUM_FRAMES, 3), display_rate=rate)
+        decode.append(round(trial.decoding_rate, 3))
+        throughput.append(round(trial.throughput_bps / 1000, 2))
+    return {"decoding_rate": decode, "throughput_kbps": throughput}
+
+
+def test_fig12b_display_rate(benchmark, record):
+    series = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    record(
+        "E6_fig12b_display_rate",
+        format_series(
+            "display_fps",
+            DISPLAY_RATES,
+            series,
+            title="Fig. 12(b): RainBar decoding rate & throughput vs display rate "
+            "(b_s=12, d=12cm, f_c=30, handheld)",
+        ),
+    )
+    # Decoding rate stays high at 18 fps (paper: >= 91 %).
+    at_18 = series["decoding_rate"][DISPLAY_RATES.index(18)]
+    assert at_18 >= 0.75
+    # Throughput at high display rates beats the low end.
+    assert series["throughput_kbps"][-1] > series["throughput_kbps"][0]
+    # Throughput is roughly increasing overall.
+    assert series["throughput_kbps"][3] > series["throughput_kbps"][1]

@@ -1,0 +1,85 @@
+"""E14 (extension) — analytical models vs direct simulation.
+
+Verifies the closed-form models of :mod:`repro.bench.models` against the
+channel simulator itself:
+
+* clean-capture probability vs a dense phase sweep of the rolling
+  shutter compositor;
+* the predicted COBRA throughput collapse (Fig. 11(b)'s shape) from the
+  sync-free delivery model.
+"""
+
+import numpy as np
+from sweeps import rainbar_config
+
+from repro.bench import (
+    clean_capture_probability,
+    expected_throughput_bps,
+    format_series,
+    frame_delivery_probability_nosync,
+)
+from repro.channel.camera import CameraTiming, compose_rolling_shutter
+from repro.channel.screen import FrameSchedule
+
+RATES = [10, 14, 18, 22, 26, 30]
+F_C = 30.0
+READOUT = 0.9
+
+
+def simulated_clean_probability(display_rate: float, phases: int = 120) -> float:
+    images = [np.full((48, 32, 3), v) for v in np.linspace(0.05, 0.95, 16)]
+    sched = FrameSchedule(images, display_rate=display_rate)
+    timing = CameraTiming(capture_rate=F_C, readout_fraction=READOUT, exposure_s=0.0)
+    clean = 0
+    for phase in np.linspace(0.0, 1.0 / display_rate, phases, endpoint=False):
+        out = compose_rolling_shutter(sched, timing, 0.2 + phase)
+        clean += int(len(np.unique(out[:, 0, 0])) == 1)
+    return clean / phases
+
+
+def run_verification():
+    payload = rainbar_config().payload_bytes_per_frame
+    series = {
+        "clean_predicted": [],
+        "clean_simulated": [],
+        "cobra_tput_model_kbps": [],
+        "rainbar_tput_model_kbps": [],
+    }
+    for rate in RATES:
+        series["clean_predicted"].append(
+            round(clean_capture_probability(rate, F_C, READOUT), 3)
+        )
+        series["clean_simulated"].append(round(simulated_clean_probability(rate), 3))
+        delivery = frame_delivery_probability_nosync(rate, F_C, READOUT)
+        series["cobra_tput_model_kbps"].append(
+            round(expected_throughput_bps(payload, rate, delivery) / 1000, 2)
+        )
+        series["rainbar_tput_model_kbps"].append(
+            round(expected_throughput_bps(payload, rate, 1.0) / 1000, 2)
+        )
+    return series
+
+
+def test_models_match_simulation(benchmark, record):
+    series = benchmark.pedantic(run_verification, rounds=1, iterations=1)
+    record(
+        "E14_model_verification",
+        format_series(
+            "display_fps",
+            RATES,
+            series,
+            title="E14: analytical models vs rolling-shutter simulation "
+            f"(f_c={F_C}, readout={READOUT})",
+        ),
+    )
+    # Model matches simulation within phase-sweep resolution.
+    for pred, sim in zip(series["clean_predicted"], series["clean_simulated"]):
+        assert abs(pred - sim) <= 0.05
+    # The predicted COBRA curve peaks at or below f_c/2... then collapses.
+    cobra = series["cobra_tput_model_kbps"]
+    peak = RATES[cobra.index(max(cobra))]
+    assert peak <= 18
+    assert cobra[-1] < max(cobra) * 0.6
+    # ...while the synced model grows monotonically.
+    rainbar = series["rainbar_tput_model_kbps"]
+    assert all(b > a for a, b in zip(rainbar, rainbar[1:]))

@@ -1,0 +1,67 @@
+"""E13 (extension) — three-system throughput at the default condition.
+
+Runs RainBar, COBRA and LightSync end-to-end over the same channel and
+compares goodput, normalizing what the paper argues piecewise:
+RainBar's larger code area (vs COBRA) and its 2-bit color alphabet (vs
+LightSync) compose into the highest throughput of the three.
+"""
+
+from conftest import NUM_FRAMES, SEEDS
+from sweeps import cobra_config, rainbar_config
+
+from repro.baselines.lightsync import LightSyncConfig
+from repro.bench import (
+    average_trials,
+    format_table,
+    layout_for_block_size,
+    paper_link_config,
+    run_cobra_trial,
+    run_lightsync_trial,
+    run_rainbar_trial,
+)
+
+
+def run_comparison():
+    link = paper_link_config()
+    frames = max(NUM_FRAMES, 3)
+
+    rb_cfg = rainbar_config(display_rate=10)
+    cb_cfg = cobra_config(display_rate=10)
+    ls_cfg = LightSyncConfig(layout=layout_for_block_size(12), display_rate=10)
+
+    rb = average_trials(
+        [run_rainbar_trial(rb_cfg, link, frames, seed=s) for s in SEEDS]
+    )
+    cb = average_trials([run_cobra_trial(cb_cfg, link, frames, seed=s) for s in SEEDS])
+    ls = average_trials(
+        [run_lightsync_trial(ls_cfg, link, frames, seed=s) for s in SEEDS]
+    )
+
+    rows = [
+        ["RainBar", rb_cfg.payload_bytes_per_frame, round(rb.decoding_rate, 3),
+         round(rb.throughput_bps / 1000, 2)],
+        ["COBRA", cb_cfg.payload_bytes_per_frame, round(cb.decoding_rate, 3),
+         round(cb.throughput_bps / 1000, 2)],
+        ["LightSync", ls_cfg.payload_bytes_per_frame, round(ls.decoding_rate, 3),
+         round(ls.throughput_bps / 1000, 2)],
+    ]
+    return rows
+
+
+def test_three_system_throughput(benchmark, record):
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    record(
+        "E13_system_throughput",
+        format_table(
+            ["system", "payload_bytes/frame", "decode_rate", "throughput_kbps"],
+            rows,
+            title="E13: three-system comparison at the default condition "
+            "(f_d=10, b_s=12, d=12cm, indoor, handheld)",
+        ),
+    )
+    by_name = {r[0]: r for r in rows}
+    # Capacity ordering: RainBar > COBRA > LightSync.
+    assert by_name["RainBar"][1] > by_name["COBRA"][1] > by_name["LightSync"][1]
+    # Throughput ordering holds end-to-end at the easy default condition.
+    assert by_name["RainBar"][3] >= by_name["COBRA"][3] - 0.5
+    assert by_name["RainBar"][3] > by_name["LightSync"][3]

@@ -1,0 +1,37 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Every benchmark prints the series/rows of its paper artifact and also
+writes them to ``benchmarks/results/<exp_id>.txt`` so a full run leaves
+a reviewable record (EXPERIMENTS.md quotes these files).
+
+Scale control: set ``REPRO_BENCH_SCALE=2`` (or higher) for more frames
+and seeds per condition; the default keeps a full
+``pytest benchmarks/ --benchmark-only`` run in the tens of minutes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+SCALE = max(1, int(os.environ.get("REPRO_BENCH_SCALE", "1")))
+
+#: Trials per condition and frames per trial, scaled.
+SEEDS = list(range(1, 1 + 2 * SCALE))
+NUM_FRAMES = 2 * SCALE
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Callable writing one experiment's report to disk (and stdout)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(exp_id: str, text: str) -> None:
+        print()
+        print(text)
+        (RESULTS_DIR / f"{exp_id}.txt").write_text(text + "\n")
+
+    return _record

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Looking inside the decoder: diagnostics and geometry overlays.
+
+Captures one frame under increasingly hostile conditions, prints the
+pipeline's internal diagnostics for each, and writes PNG overlays
+showing the recovered geometry (cell centers in cyan, erased rows in
+orange).  Useful when tuning a deployment: the diagnostics tell you
+*which* stage is running out of margin before decoding actually fails.
+
+Run:  python examples/decode_diagnostics.py
+Output: diagnostics_<condition>.png in the working directory.
+"""
+
+import numpy as np
+
+from repro import (
+    DecodeError,
+    FrameCodecConfig,
+    FrameDecoder,
+    FrameEncoder,
+    FrameSchedule,
+    LinkConfig,
+    ScreenCameraLink,
+)
+from repro.channel import outdoor, walking
+from repro.core import describe_extraction, geometry_overlay
+from repro.io import write_png
+
+CONDITIONS = {
+    "easy": LinkConfig(distance_cm=12.0),
+    "angled": LinkConfig(distance_cm=12.0, view_angle_deg=30.0),
+    "far": LinkConfig(distance_cm=20.0),
+    "outdoor_shaky": LinkConfig(
+        distance_cm=14.0, environment=outdoor(), mobility=walking()
+    ),
+}
+
+
+def main() -> None:
+    config = FrameCodecConfig(display_rate=10)
+    frame = FrameEncoder(config).encode_frame(b"diagnostics demo", sequence=5)
+    schedule = FrameSchedule([frame.render()], display_rate=10)
+    decoder = FrameDecoder(config)
+
+    for name, link_config in CONDITIONS.items():
+        link = ScreenCameraLink(link_config, rng=np.random.default_rng(42))
+        capture = link.capture_at(schedule, 0.01)
+        print(f"\n=== {name} ===")
+        try:
+            extraction = decoder.extract(capture.image)
+        except DecodeError as exc:
+            print(f"pipeline failed: {exc}")
+            write_png(f"diagnostics_{name}_raw.png", capture.image)
+            print(f"raw capture saved to diagnostics_{name}_raw.png")
+            continue
+        print(describe_extraction(extraction))
+        result = decoder.decode_capture(capture.image)
+        print(f"decode: ok={result.ok}"
+              + (f" ({result.failure})" if result.failure else ""))
+        overlay = geometry_overlay(capture.image, decoder, extraction=extraction)
+        path = f"diagnostics_{name}.png"
+        write_png(path, overlay)
+        print(f"geometry overlay saved to {path}")
+
+
+if __name__ == "__main__":
+    main()

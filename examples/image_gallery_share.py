@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Sharing a photo while walking: adaptive block size in action.
+
+The sender samples its accelerometer before mapping data onto frames
+(the paper insists the block size be fixed *before* data mapping) and
+picks larger blocks when the devices shake — trading capacity for
+robustness.  The script transfers the same synthetic photo twice, once
+on a tripod and once while walking, and shows the configurator's choice
+plus the resulting capacity difference.
+
+Run:  python examples/image_gallery_share.py
+"""
+
+import numpy as np
+
+from repro import (
+    AdaptiveConfigurator,
+    ApplicationType,
+    FileTransfer,
+    FrameCodecConfig,
+    LinkConfig,
+    TransferSession,
+)
+from repro.bench import image_payload
+from repro.channel import AccelerometerSim, tripod, walking
+
+
+def transfer_with_mobility(name, mobility, image, width, seed):
+    print(f"\n--- {name} ---")
+    # 1. Sense mobility, choose the block size BEFORE data mapping.
+    accel = AccelerometerSim(mobility, np.random.default_rng(seed))
+    configurator = AdaptiveConfigurator(min_block_px=10, max_block_px=16)
+    decision = configurator.decide(accel.window(16))
+    print(f"accelerometer score: {decision.mobility_score:.2f} m/s^2 "
+          f"-> block size {decision.block_px} px")
+
+    # 2. Build the codec on the adapted layout and transfer.
+    config = FrameCodecConfig(
+        layout=decision.layout, display_rate=10, app_type=int(ApplicationType.IMAGE)
+    )
+    print(f"per-frame payload: {config.payload_bytes_per_frame} bytes")
+    session = TransferSession(
+        config,
+        LinkConfig(distance_cm=12.0, mobility=mobility),
+        rng=np.random.default_rng(seed + 1),
+    )
+    result = FileTransfer(session).send(
+        image, ApplicationType.IMAGE, image_width=width, max_rounds=6
+    )
+    if result.ok:
+        stats = result.stats
+        print(f"delivered in {stats.rounds} round(s), "
+              f"{stats.frames_sent} frames, goodput {stats.goodput_bps/1000:.1f} kbps")
+        assert result.data == image
+    else:
+        print("transfer failed within the round budget")
+    return result
+
+
+def main() -> None:
+    width, height = 64, 48
+    image = image_payload(width=width, height=height, seed=3)
+    print(f"photo: {width}x{height} grayscale, {len(image)} bytes")
+
+    transfer_with_mobility("tripod", tripod(), image, width, seed=10)
+    transfer_with_mobility("walking", walking(), image, width, seed=20)
+
+    print("\nLarger blocks under shake cost capacity but keep frames "
+          "decodable; the paper adopts this adaptive scheme from COBRA "
+          "with the fix that sizing happens before data mapping.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Section V case study: transferring a text file between two phones.
+
+Text transfer needs bit-exact delivery — "even one-bit decoding error
+will lead to a wrong character".  RainBar's answer is layered: DEFLATE
+pre-processing (the classification component), per-frame RS + CRC-16,
+and NACK-driven retransmission of exactly the frames that failed.  The
+script contrasts that with RDCode's feedback-free tri-level redundancy,
+which pays its overhead on every frame whether the channel was clean or
+not.
+
+Run:  python examples/text_file_transfer.py
+"""
+
+import numpy as np
+
+from repro import (
+    ApplicationType,
+    FileTransfer,
+    FrameCodecConfig,
+    LinkConfig,
+    RDCodeCodec,
+    TransferSession,
+)
+from repro.channel import handheld
+
+SAMPLE_TEXT = """\
+RainBar: Robust Application-driven Visual Communication using Color
+Barcodes.  Color barcode-based visible light communication over
+screen-camera links is free of charge, free of interference, free of
+complex network configuration, and offers well-controlled communication
+security thanks to the directionality and extremely short visible range
+of the link.  This paragraph repeats a few times to resemble a real
+document.
+""" * 12
+
+
+def main() -> None:
+    rng = np.random.default_rng(2024)
+    data = SAMPLE_TEXT.encode()
+    print(f"text file: {len(data)} bytes")
+
+    # --- RainBar: compress, transmit, retransmit on NACK -------------------
+    config = FrameCodecConfig(display_rate=10, app_type=int(ApplicationType.TEXT))
+    session = TransferSession(
+        config,
+        LinkConfig(distance_cm=12.0, view_angle_deg=10.0, mobility=handheld()),
+        rng=rng,
+    )
+    result = FileTransfer(session).send(data, ApplicationType.TEXT)
+
+    print("\n--- RainBar (retransmission) ---")
+    if not result.ok:
+        print("transfer FAILED")
+        return
+    stats = result.stats
+    print(f"delivered:        {result.data == data}")
+    print(f"compression:      {result.compression_ratio:.1f}x "
+          f"({result.wire_bytes} wire bytes)")
+    print(f"frames:           {stats.frames_sent} sent / {stats.frames_total} unique")
+    print(f"rounds:           {stats.rounds}")
+    print(f"retransmission:   {stats.retransmission_overhead:.1%} extra frames")
+    print(f"goodput:          {stats.goodput_bps / 1000:.1f} kbps")
+
+    # --- RDCode: always-on tri-level redundancy, no feedback ---------------
+    print("\n--- RDCode (tri-level FEC, no feedback) ---")
+    codec = RDCodeCodec(frame_payload=config.payload_bytes_per_frame)
+    wires = codec.encode_stream(data)
+    total_wire = sum(len(w) for w in wires)
+    print(f"overhead factor:  {codec.overhead_factor:.2f}x on every transmission")
+    print(f"frames:           {len(wires)} (incl. parity frames)")
+    print(f"wire bytes:       {total_wire} vs RainBar's {result.wire_bytes}")
+
+    # Same display budget -> effective goodput comparison.
+    seconds = len(wires) / config.display_rate
+    print(f"goodput if clean: {8 * len(data) / seconds / 1000:.1f} kbps")
+    print("\nRainBar pays retransmission only when frames fail; RDCode pays "
+          f"{codec.overhead_factor:.2f}x always — and a second lost frame in a "
+          "window is unrecoverable without feedback.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Baseline systems the paper compares against: COBRA, LightSync, RDCode."""
+
+from .cobra import CobraConfig, CobraDecoder, CobraEncoder, CobraLayout, CobraReceiver
+from .lightsync import LightSyncConfig, LightSyncEncoder, LightSyncReceiver
+from .rdcode import PaletteClassifier, RDCodeCodec, RDCodeLayout, rdcode_layout_report
+
+__all__ = [
+    "CobraLayout",
+    "CobraConfig",
+    "CobraEncoder",
+    "CobraDecoder",
+    "CobraReceiver",
+    "LightSyncConfig",
+    "LightSyncEncoder",
+    "LightSyncReceiver",
+    "RDCodeLayout",
+    "RDCodeCodec",
+    "PaletteClassifier",
+    "rdcode_layout_report",
+]

@@ -1,0 +1,238 @@
+"""LightSync baseline (Hu et al., MobiCom 2013; the paper's reference [8]).
+
+LightSync's contribution is *line-level frame synchronization*: it
+tolerates display rates up to the capture rate, but encodes only
+**black-and-white** barcodes — 1 bit per block — which is exactly the
+capacity ceiling RainBar's color design removes ("LightSync, however,
+has only been shown to work efficiently for black and white barcodes").
+
+Reproduction scope: what the paper uses LightSync for is the
+capacity/throughput comparison, so this implementation reuses RainBar's
+geometry substrate (layout, locators, tracking bars, header) and swaps
+the data alphabet for a binary one.  Because black is reserved for the
+structure cells, the binary alphabet is {white, blue} — luminance-wise
+the same two-level signaling, keeping the locator machinery sound.  The
+defining properties are preserved:
+
+* 1 bit per block (half of RainBar's 2),
+* per-line synchronization that survives f_d > f_c / 2, and
+* identical RS/CRC framing, so throughput differences are pure capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..coding.crc import crc16
+from ..coding.interleave import Interleaver
+from ..coding.reed_solomon import BlockCode, RSDecodeError
+from ..core.decoder import FrameDecoder, FrameResult
+from ..core.encoder import FrameCodecConfig, FrameEncoder
+from ..core.header import FrameHeader
+from ..core.layout import FrameLayout
+from ..core.palette import Color, symbols_to_bytes
+from ..core.sync import StreamReassembler
+
+__all__ = ["LightSyncConfig", "LightSyncEncoder", "LightSyncReceiver"]
+
+#: Binary alphabet: bit 0 -> white, bit 1 -> blue.
+_BIT_COLORS = (Color.WHITE, Color.BLUE)
+
+
+def _bytes_to_bits(data: bytes) -> np.ndarray:
+    if not data:
+        return np.zeros(0, dtype=np.int64)
+    arr = np.frombuffer(data, dtype=np.uint8).astype(np.int64)
+    shifts = np.arange(7, -1, -1)
+    return ((arr[:, np.newaxis] >> shifts) & 1).ravel()
+
+
+def _bits_to_bytes(bits: np.ndarray) -> bytes:
+    bits = np.asarray(bits, dtype=np.int64)
+    if len(bits) % 8:
+        raise ValueError("bit count must be a multiple of 8")
+    if len(bits) == 0:
+        return b""
+    grouped = bits.reshape(-1, 8)
+    weights = 1 << np.arange(7, -1, -1)
+    return bytes((grouped * weights).sum(axis=1).astype(np.uint8))
+
+
+@dataclass(frozen=True)
+class LightSyncConfig:
+    """Stream parameters of the binary scheme."""
+
+    layout: FrameLayout = field(default_factory=FrameLayout)
+    rs_n: int = 32
+    rs_k: int = 24
+    display_rate: int = 15
+    app_type: int = 0
+
+    @property
+    def data_capacity_bytes(self) -> int:
+        """1 bit per data cell."""
+        return len(self.layout.data_cells) // 8
+
+    @property
+    def chunks_per_frame(self) -> int:
+        return self.data_capacity_bytes // self.rs_n
+
+    @property
+    def coded_bytes_per_frame(self) -> int:
+        return self.chunks_per_frame * self.rs_n
+
+    @property
+    def message_bytes_per_frame(self) -> int:
+        return self.chunks_per_frame * self.rs_k
+
+    @property
+    def payload_bytes_per_frame(self) -> int:
+        return self.message_bytes_per_frame - 2
+
+    @property
+    def interleaver(self) -> Interleaver:
+        return Interleaver(max(self.chunks_per_frame, 1))
+
+    @property
+    def block_code(self) -> BlockCode:
+        return BlockCode(self.rs_n, self.rs_k)
+
+    def rainbar_equivalent(self) -> FrameCodecConfig:
+        """RainBar config on the same layout (for geometry reuse)."""
+        return FrameCodecConfig(
+            layout=self.layout,
+            rs_n=self.rs_n,
+            rs_k=self.rs_k,
+            display_rate=self.display_rate,
+            app_type=self.app_type,
+        )
+
+
+class LightSyncEncoder:
+    """Binary frame construction on the shared layout."""
+
+    def __init__(self, config: LightSyncConfig):
+        if config.chunks_per_frame < 1:
+            raise ValueError("layout too small for one RS codeword at 1 bit/block")
+        self.config = config
+        self._inner = FrameEncoder(config.rainbar_equivalent())
+
+    def encode_frame(self, payload: bytes, sequence: int, is_last: bool = False):
+        cfg = self.config
+        if len(payload) > cfg.payload_bytes_per_frame:
+            raise ValueError("payload exceeds per-frame capacity")
+        padded = payload.ljust(cfg.payload_bytes_per_frame, b"\x00")
+        header = FrameHeader(
+            sequence=sequence,
+            display_rate=cfg.display_rate,
+            app_type=cfg.app_type,
+            payload_checksum=crc16(padded),
+            is_last=is_last,
+        )
+        message = padded + bytes(
+            [(header.payload_checksum >> 8) & 0xFF, header.payload_checksum & 0xFF]
+        )
+        wire = cfg.interleaver.scramble(cfg.block_code.encode(message))
+
+        # Structure + header cells come from the shared encoder; the data
+        # cells are overwritten with the binary mapping.
+        base = self._inner.encode_frame(b"", sequence=sequence, is_last=is_last)
+        grid = base.grid.copy()
+        cells = cfg.layout.data_cells
+        bits = _bytes_to_bits(wire)
+        padded_bits = np.zeros(len(cells), dtype=np.int64)
+        padded_bits[: len(bits)] = bits
+        padded_bits[len(bits) :] = np.arange(len(cells) - len(bits)) % 2
+        table = np.array([int(c) for c in _BIT_COLORS], dtype=np.int64)
+        grid[cells[:, 0], cells[:, 1]] = table[padded_bits]
+
+        # The header must carry *this* payload's checksum, not the empty
+        # placeholder the base frame was built with.
+        self._inner._fill_header(grid, header)
+
+        from ..core.encoder import Frame
+
+        return Frame(header=header, grid=grid, payload=padded, layout=cfg.layout)
+
+    def encode_stream(self, payload: bytes, start_sequence: int = 0) -> list:
+        per = self.config.payload_bytes_per_frame
+        chunks = [payload[i : i + per] for i in range(0, max(len(payload), 1), per)]
+        return [
+            self.encode_frame(c, (start_sequence + i) & 0x7FFF, is_last=i == len(chunks) - 1)
+            for i, c in enumerate(chunks)
+        ]
+
+
+class LightSyncReceiver:
+    """Receive pipeline: shared geometry, binary classification.
+
+    Wraps RainBar's :class:`FrameDecoder` for geometry recovery and
+    reinterprets the recovered symbols as bits: white -> 0, blue -> 1,
+    anything else (red/green misreads, erasures) -> erasure.  Stream
+    reassembly across rolling-shutter splits reuses
+    :class:`StreamReassembler` mechanics on the bit stream.
+    """
+
+    def __init__(self, config: LightSyncConfig, **decoder_kwargs):
+        self.config = config
+        self._decoder = FrameDecoder(config.rainbar_equivalent(), **decoder_kwargs)
+        self._reassembler = StreamReassembler(
+            config.rainbar_equivalent(), assemble=self.assemble
+        )
+
+    @property
+    def decoder(self) -> FrameDecoder:
+        return self._decoder
+
+    def extract(self, image: np.ndarray):
+        """Geometry + classification (raises DecodeError on failure)."""
+        return self._decoder.extract(image)
+
+    def add_capture(self, extraction) -> list[FrameResult]:
+        """Feed one extraction; returns finalized binary frames."""
+        return self._reassembler.add_capture(extraction)
+
+    def flush(self) -> list[FrameResult]:
+        return self._reassembler.flush()
+
+    # -- direct single-capture decoding (the fast f_d <= f_c/2 path) ------
+
+    def decode_capture(self, image: np.ndarray) -> FrameResult:
+        """Decode a capture holding one whole frame."""
+        extraction = self._decoder.extract(image)
+        symbols = extraction.data_symbols
+        foreign = np.isin(
+            self.config.layout.symbol_rows, np.flatnonzero(extraction.row_assignment != 0)
+        )
+        symbols = np.where(foreign, -1, symbols)
+        return self.assemble(extraction.header, symbols)
+
+    def assemble(self, header: FrameHeader, symbols: np.ndarray) -> FrameResult:
+        """Binary assembly: symbol -> bit, then RS + CRC."""
+        cfg = self.config
+        bits = np.full(len(symbols), -1, dtype=np.int64)
+        bits[symbols == 0] = 0  # white
+        bits[symbols == 3] = 1  # blue
+        used = 8 * cfg.coded_bytes_per_frame
+        active = bits[:used]
+        erased = active < 0
+        clean = np.where(erased, 0, active)
+        wire = _bits_to_bytes(clean)
+        byte_erasures = sorted(set(np.flatnonzero(erased) // 8))
+        coded = cfg.interleaver.unscramble(wire)
+        erasures = cfg.interleaver.map_erasures(byte_erasures, len(wire))
+        try:
+            message = cfg.block_code.decode(coded, cfg.message_bytes_per_frame, erasures=erasures)
+        except RSDecodeError:
+            try:
+                message = cfg.block_code.decode(coded, cfg.message_bytes_per_frame)
+            except RSDecodeError as exc:
+                return FrameResult(header.sequence, False, b"", header.is_last,
+                                   len(byte_erasures), f"RS decode failed: {exc}")
+        payload, tail = message[:-2], message[-2:]
+        checksum = (tail[0] << 8) | tail[1]
+        ok = checksum == crc16(payload) == header.payload_checksum
+        return FrameResult(header.sequence, ok, payload, header.is_last,
+                           len(byte_erasures), "" if ok else "payload CRC mismatch")

@@ -1,0 +1,169 @@
+"""RDCode's image domain: square grids with per-square color palettes.
+
+Complements :mod:`repro.baselines.rdcode` (capacity accounting and the
+tri-level codec) with the visual side of the system: building the
+square-structured frame grid, rendering it, and classifying data blocks
+against the palette blocks *as captured* — which is RDCode's central
+photometric idea (calibration-free color recognition: the palette
+suffers the same illumination shift as the data).
+
+Geometric detection is out of scope per DESIGN.md (the ICDCS paper's
+evaluation never exercises it); the decoder here takes cell positions
+from a known projection, which is exactly what the palette-robustness
+experiments need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from ..core.palette import Color, bytes_to_symbols, rgb_table, symbols_to_bytes
+from ..imaging.interpolation import sample_bilinear
+from .rdcode import PaletteClassifier, RDCodeLayout
+
+__all__ = ["RDCodeImageCoder"]
+
+#: The palette colors shown in each square's four palette blocks,
+#: in symbol order (white, red, green, blue).
+_PALETTE_COLORS = (Color.WHITE, Color.RED, Color.GREEN, Color.BLUE)
+
+
+@dataclass(frozen=True)
+class _SquareGeometry:
+    """Block roles inside one h x h square.
+
+    Palette blocks sit in the four corners of the square; two locator
+    blocks (black) sit at the midpoints of the top and left edges.  The
+    remaining blocks carry data, row-major.
+    """
+
+    square: int
+
+    @cached_property
+    def palette_cells(self) -> list[tuple[int, int]]:
+        h = self.square
+        return [(0, 0), (0, h - 1), (h - 1, 0), (h - 1, h - 1)]
+
+    @cached_property
+    def locator_cells(self) -> list[tuple[int, int]]:
+        h = self.square
+        return [(0, h // 2), (h // 2, 0)]
+
+    @cached_property
+    def data_cells(self) -> list[tuple[int, int]]:
+        structural = set(self.palette_cells) | set(self.locator_cells)
+        return [
+            (r, c)
+            for r in range(self.square)
+            for c in range(self.square)
+            if (r, c) not in structural
+        ]
+
+
+class RDCodeImageCoder:
+    """Build, render and palette-decode RDCode frame grids."""
+
+    def __init__(self, layout: RDCodeLayout, block_px: int = 12):
+        self.layout = layout
+        self.block_px = block_px
+        self._geometry = _SquareGeometry(layout.square)
+
+    @property
+    def data_blocks_per_square(self) -> int:
+        return len(self._geometry.data_cells)
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Data bytes per frame (2 bits per data block, metadata square excluded)."""
+        return (2 * self.layout.data_squares * self.data_blocks_per_square) // 8
+
+    def _squares(self) -> list[tuple[int, int]]:
+        """Top-left grid cell of every square, row-major; index 0 is the
+        frame-metadata square and carries no payload."""
+        out = []
+        for sy in range(self.layout.squares_y):
+            for sx in range(self.layout.squares_x):
+                out.append((sy * self.layout.square, sx * self.layout.square))
+        return out
+
+    def encode_grid(self, payload: bytes) -> np.ndarray:
+        """Map *payload* onto a full frame grid of color indices."""
+        if len(payload) > self.capacity_bytes:
+            raise ValueError(
+                f"payload of {len(payload)} bytes exceeds capacity {self.capacity_bytes}"
+            )
+        padded = payload.ljust(self.capacity_bytes, b"\x00")
+        symbols = bytes_to_symbols(padded)
+
+        grid = np.full(
+            (self.layout.grid_rows, self.layout.grid_cols), int(Color.WHITE), dtype=np.int64
+        )
+        geom = self._geometry
+        color_of_symbol = np.array([int(c) for c in _PALETTE_COLORS])
+        cursor = 0
+        for index, (top, left) in enumerate(self._squares()):
+            for (r, c), color in zip(geom.palette_cells, _PALETTE_COLORS):
+                grid[top + r, left + c] = int(color)
+            for r, c in geom.locator_cells:
+                grid[top + r, left + c] = int(Color.BLACK)
+            if index == 0:
+                continue  # metadata square: structure only
+            take = geom.data_cells
+            chunk = symbols[cursor : cursor + len(take)]
+            cursor += len(take)
+            for (r, c), sym in zip(take, chunk):
+                grid[top + r, left + c] = color_of_symbol[sym]
+        return grid
+
+    def render(self, grid: np.ndarray) -> np.ndarray:
+        """Grid -> RGB image (same block expansion as the other systems)."""
+        rgb = rgb_table()[np.asarray(grid, dtype=np.int64)]
+        block = np.ones((self.block_px, self.block_px, 1))
+        return np.kron(rgb, block)
+
+    # -- palette-based decoding -------------------------------------------
+
+    def _cell_center(self, row: int, col: int) -> tuple[float, float]:
+        return (
+            (col + 0.5) * self.block_px - 0.5,
+            (row + 0.5) * self.block_px - 0.5,
+        )
+
+    def decode_image(
+        self,
+        image: np.ndarray,
+        payload_length: int,
+        homography: np.ndarray | None = None,
+    ) -> bytes:
+        """Recover the payload from a (possibly degraded) rendered frame.
+
+        *homography* maps rendered pixels to *image* pixels (identity
+        when the image is the direct render).  Every square's data
+        blocks are classified against that square's own captured palette
+        — the calibration-free mechanism under test.
+        """
+        from ..imaging.geometry import apply_homography
+
+        geom = self._geometry
+        symbols: list[int] = []
+        for index, (top, left) in enumerate(self._squares()):
+            if index == 0:
+                continue
+            palette_pts = np.array(
+                [self._cell_center(top + r, left + c) for r, c in geom.palette_cells]
+            )
+            data_pts = np.array(
+                [self._cell_center(top + r, left + c) for r, c in geom.data_cells]
+            )
+            if homography is not None:
+                palette_pts = apply_homography(homography, palette_pts)
+                data_pts = apply_homography(homography, data_pts)
+            palette_rgb = sample_bilinear(image, palette_pts[:, 0], palette_pts[:, 1])
+            classifier = PaletteClassifier.from_observed(palette_rgb)
+            data_rgb = sample_bilinear(image, data_pts[:, 0], data_pts[:, 1])
+            symbols.extend(int(s) for s in classifier.classify(data_rgb))
+        packed = symbols_to_bytes(np.asarray(symbols, dtype=np.int64))
+        return packed[:payload_length]

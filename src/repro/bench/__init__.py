@@ -1,0 +1,67 @@
+"""Shared benchmark harness: workloads, trial runner, reporting."""
+
+from .models import (
+    byte_error_probability,
+    clean_capture_probability,
+    expected_throughput_bps,
+    frame_delivery_probability_nosync,
+    frame_failure_probability,
+    retransmission_goodput_factor,
+    rs_chunk_failure_probability,
+)
+from .reporting import (
+    TRIAL_HEADERS,
+    format_series,
+    format_table,
+    print_experiment_header,
+    trial_row,
+)
+from .runner import (
+    TrialResult,
+    average_trials,
+    run_cobra_trial,
+    run_lightsync_trial,
+    run_rainbar_trial,
+)
+from .workloads import (
+    PAPER_DEFAULTS,
+    SCREEN_PX,
+    audio_payload,
+    default_codec,
+    default_layout,
+    image_payload,
+    layout_for_block_size,
+    paper_link_config,
+    random_payload,
+    text_payload,
+)
+
+__all__ = [
+    "TrialResult",
+    "run_rainbar_trial",
+    "run_cobra_trial",
+    "run_lightsync_trial",
+    "average_trials",
+    "format_table",
+    "format_series",
+    "print_experiment_header",
+    "trial_row",
+    "TRIAL_HEADERS",
+    "random_payload",
+    "text_payload",
+    "image_payload",
+    "audio_payload",
+    "default_layout",
+    "default_codec",
+    "layout_for_block_size",
+    "paper_link_config",
+    "PAPER_DEFAULTS",
+    "SCREEN_PX",
+    "clean_capture_probability",
+    "frame_delivery_probability_nosync",
+    "byte_error_probability",
+    "rs_chunk_failure_probability",
+    "frame_failure_probability",
+    "retransmission_goodput_factor",
+    "expected_throughput_bps",
+]

@@ -1,0 +1,123 @@
+"""Closed-form performance models.
+
+The paper explains its headline crossover (COBRA's throughput collapsing
+past f_c/2 while RainBar keeps climbing) mechanically; this module makes
+the mechanics quantitative so benchmarks can compare *predicted* against
+*simulated* behaviour:
+
+* rolling-shutter **clean-capture probability** — a capture decodes for
+  a sync-free receiver only if no display switch falls inside its
+  readout window;
+* **per-frame delivery probability** for sync-free receivers — at least
+  one clean capture must land entirely inside the frame's display slot;
+* **Reed-Solomon frame failure probability** from a raw symbol error
+  rate (binomial tail over the per-chunk budget);
+* **retransmission goodput factor** — the expected efficiency of the
+  NACK protocol given a per-frame failure probability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+__all__ = [
+    "clean_capture_probability",
+    "frame_delivery_probability_nosync",
+    "byte_error_probability",
+    "rs_chunk_failure_probability",
+    "frame_failure_probability",
+    "retransmission_goodput_factor",
+    "expected_throughput_bps",
+]
+
+
+def clean_capture_probability(
+    display_rate: float, capture_rate: float, readout_fraction: float = 0.9
+) -> float:
+    """P(one capture contains no display switch), uniform phase.
+
+    The readout lasts ``readout_fraction / capture_rate`` seconds;
+    switches arrive every ``1 / display_rate``.  For a uniformly random
+    phase the no-switch probability is ``max(0, 1 - f_d * T_r)``.
+    """
+    if display_rate <= 0 or capture_rate <= 0:
+        raise ValueError("rates must be positive")
+    readout = readout_fraction / capture_rate
+    return max(0.0, 1.0 - display_rate * readout)
+
+
+def frame_delivery_probability_nosync(
+    display_rate: float, capture_rate: float, readout_fraction: float = 0.9
+) -> float:
+    """P(a displayed frame gets >= 1 fully-clean capture), sync-free RX.
+
+    A capture is useful for frame *i* iff its readout lies entirely
+    inside the frame's display slot of length ``1 / f_d``; the start
+    must fall in a window of length ``max(0, 1/f_d - T_r)``.  Captures
+    start every ``1 / f_c`` with (modeled) uniform phase; with ``k``
+    expected useful starts the delivery probability is
+    ``min(1, k)`` for the deterministic sampling grid (k >= 1 means the
+    window always contains a capture start).
+    """
+    if display_rate <= 0 or capture_rate <= 0:
+        raise ValueError("rates must be positive")
+    readout = readout_fraction / capture_rate
+    window = max(0.0, 1.0 / display_rate - readout)
+    expected_starts = window * capture_rate
+    return float(min(1.0, expected_starts))
+
+
+def byte_error_probability(symbol_error_rate: float) -> float:
+    """P(a wire byte is wrong) from the 2-bit symbol error rate.
+
+    A byte spans four symbols; it is wrong when any of them is.
+    """
+    eps = float(np.clip(symbol_error_rate, 0.0, 1.0))
+    return 1.0 - (1.0 - eps) ** 4
+
+
+def rs_chunk_failure_probability(byte_error_prob: float, n: int, k: int) -> float:
+    """P(an RS(n, k) codeword has more errors than it corrects)."""
+    if not 0 < k < n:
+        raise ValueError("need 0 < k < n")
+    t = (n - k) // 2
+    p = float(np.clip(byte_error_prob, 0.0, 1.0))
+    return float(stats.binom.sf(t, n, p))
+
+
+def frame_failure_probability(
+    symbol_error_rate: float, n: int, k: int, chunks: int
+) -> float:
+    """P(a frame fails) = P(any of its RS chunks fails).
+
+    Assumes interleaving has spread symbol errors independently across
+    chunks — which is exactly what the interleaver is for.
+    """
+    chunk_fail = rs_chunk_failure_probability(byte_error_probability(symbol_error_rate), n, k)
+    return 1.0 - (1.0 - chunk_fail) ** chunks
+
+
+def retransmission_goodput_factor(frame_failure_prob: float) -> float:
+    """Expected goodput fraction of the NACK protocol.
+
+    Each frame is resent until it succeeds: a geometric number of
+    transmissions with mean ``1 / (1 - p)``, so the efficiency is
+    ``1 - p``.  (RDCode's fixed tri-level overhead pays
+    ``1 / overhead_factor`` regardless of p — the comparison in E12.)
+    """
+    p = float(np.clip(frame_failure_prob, 0.0, 1.0))
+    return 1.0 - p
+
+
+def expected_throughput_bps(
+    payload_bytes_per_frame: int,
+    display_rate: float,
+    delivery_probability: float,
+) -> float:
+    """Expected one-shot throughput: delivered payload bits per second."""
+    if payload_bytes_per_frame < 0 or display_rate <= 0:
+        raise ValueError("invalid parameters")
+    return 8.0 * payload_bytes_per_frame * display_rate * float(
+        np.clip(delivery_probability, 0.0, 1.0)
+    )

@@ -1,0 +1,76 @@
+"""Plain-text reporting for the benchmark harness.
+
+Each benchmark prints the same rows/series the paper's figure or table
+reports, so a run's stdout *is* the reproduced artifact.  EXPERIMENTS.md
+records one captured run per experiment.
+"""
+
+from __future__ import annotations
+
+from .runner import TrialResult
+
+__all__ = ["format_table", "format_series", "print_experiment_header"]
+
+
+def format_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    """Fixed-width text table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_series(
+    x_label: str,
+    xs: list,
+    series: dict[str, list[float]],
+    title: str = "",
+) -> str:
+    """One row per x value, one column per named series (a figure's data)."""
+    headers = [x_label] + list(series)
+    rows = [[x] + [series[name][i] for name in series] for i, x in enumerate(xs)]
+    return format_table(headers, rows, title=title)
+
+
+def print_experiment_header(exp_id: str, artifact: str, expectation: str) -> None:
+    """Banner tying a bench run to its paper artifact and expected shape."""
+    print()
+    print(f"=== {exp_id}: {artifact} ===")
+    print(f"expected shape: {expectation}")
+
+
+def trial_row(label, trial: TrialResult) -> list:
+    """Standard metrics row for one trial."""
+    return [
+        label,
+        trial.decoding_rate,
+        trial.error_rate,
+        round(trial.throughput_bps, 1),
+        trial.frame_decode_rate,
+        f"{trial.captures_dropped}/{trial.captures}",
+    ]
+
+
+TRIAL_HEADERS = [
+    "condition",
+    "decode_rate",
+    "error_rate",
+    "throughput_bps",
+    "frame_rate",
+    "dropped",
+]

@@ -1,0 +1,139 @@
+"""Workload generators and canonical experiment configurations.
+
+Every benchmark uses these so that RainBar and the baselines face the
+same payloads and the same physical conditions.  The default grid is a
+proportional scale-down of the paper's Galaxy S4 geometry (see
+DESIGN.md deviations); block sizes sweep the same 8-16 px range the
+adaptive configurator uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..channel.camera import CameraTiming
+from ..channel.environment import EnvironmentProfile, indoor
+from ..channel.link import LinkConfig
+from ..channel.mobility import MobilityModel, handheld
+from ..core.encoder import FrameCodecConfig
+from ..core.layout import FrameLayout
+
+__all__ = [
+    "random_payload",
+    "text_payload",
+    "image_payload",
+    "audio_payload",
+    "default_layout",
+    "default_codec",
+    "paper_link_config",
+    "PAPER_DEFAULTS",
+]
+
+#: The paper's default working condition (Section IV-A): f_d = 10 fps,
+#: 12 x 12 px blocks, d = 12 cm, v_a = 0, s_b = 100 %, indoor.
+PAPER_DEFAULTS = {
+    "display_rate": 10,
+    "block_px": 12,
+    "distance_cm": 12.0,
+    "view_angle_deg": 0.0,
+    "brightness": 1.0,
+    "capture_rate": 30.0,
+}
+
+_LOREM = (
+    "Color barcode streaming over screen-camera links is free of charge, "
+    "free of interference and free of complex network configuration; the "
+    "directionality and extremely short visible range guarantee well-"
+    "controlled communication security without troublesome link setup. "
+)
+
+
+def random_payload(num_bytes: int, seed: int = 0) -> bytes:
+    """Uniform random bytes — the incompressible worst case."""
+    rng = np.random.default_rng(seed)
+    return bytes(rng.integers(0, 256, num_bytes, dtype=np.uint8))
+
+
+def text_payload(num_bytes: int) -> bytes:
+    """Natural-language text (highly compressible)."""
+    repeated = (_LOREM * (num_bytes // len(_LOREM) + 1)).encode()
+    return repeated[:num_bytes]
+
+
+def image_payload(width: int = 64, height: int = 48, seed: int = 1) -> bytes:
+    """A smooth synthetic grayscale image (row-delta friendly)."""
+    rng = np.random.default_rng(seed)
+    ys, xs = np.mgrid[0:height, 0:width].astype(np.float64)
+    img = (
+        128
+        + 80 * np.sin(xs / 9.0)
+        + 40 * np.cos(ys / 7.0)
+        + rng.normal(0, 4, size=(height, width))
+    )
+    return np.clip(img, 0, 255).astype(np.uint8).tobytes()
+
+
+def audio_payload(num_samples: int = 4000, seed: int = 2) -> bytes:
+    """16-bit PCM: a chirp plus noise."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(num_samples) / 8000.0
+    wave = 0.6 * np.sin(2 * np.pi * (300 + 200 * t) * t) + 0.02 * rng.normal(size=num_samples)
+    return (np.clip(wave, -1, 1) * 32767).astype("<i2").tobytes()
+
+
+def default_layout(block_px: int = 12) -> FrameLayout:
+    """The scaled default grid (60 x 34 blocks)."""
+    return FrameLayout(grid_rows=34, grid_cols=60, block_px=block_px)
+
+
+#: Reference screen size in pixels for block-size sweeps (the scaled
+#: stand-in for the S4's 1920 x 1080 panel).
+SCREEN_PX = (408, 720)
+
+
+def layout_for_block_size(block_px: int) -> FrameLayout:
+    """Grid that fills the reference screen at *block_px* blocks.
+
+    The paper's block-size sweep (Figs. 10(c) and 12(a)) varies b_s on a
+    *fixed physical screen*: smaller blocks mean a denser grid and more
+    capacity, but each block covers fewer captured pixels.  This helper
+    reproduces that trade-off.
+    """
+    height, width = SCREEN_PX
+    return FrameLayout(
+        grid_rows=max(height // block_px, 10),
+        grid_cols=max(width // block_px, 44),
+        block_px=block_px,
+    )
+
+
+def default_codec(
+    display_rate: int = 10,
+    block_px: int = 12,
+    rs_n: int = 32,
+    rs_k: int = 24,
+) -> FrameCodecConfig:
+    """RainBar codec config used by the benchmarks."""
+    return FrameCodecConfig(
+        layout=default_layout(block_px),
+        rs_n=rs_n,
+        rs_k=rs_k,
+        display_rate=display_rate,
+    )
+
+
+def paper_link_config(
+    distance_cm: float = 12.0,
+    view_angle_deg: float = 0.0,
+    environment: EnvironmentProfile | None = None,
+    mobility: MobilityModel | None = None,
+    capture_rate: float = 30.0,
+) -> LinkConfig:
+    """The paper's physical setup: handheld phones, indoor, 30 fps camera."""
+    return LinkConfig(
+        distance_cm=distance_cm,
+        view_angle_deg=view_angle_deg,
+        environment=environment or indoor(),
+        mobility=mobility or handheld(),
+        timing=CameraTiming(capture_rate=capture_rate),
+    )

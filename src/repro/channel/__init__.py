@@ -1,0 +1,28 @@
+"""Physical-substrate simulator: screen, camera, optics, environment."""
+
+from .camera import CameraTiming, compose_rolling_shutter
+from .environment import EnvironmentProfile, dark_room, indoor, outdoor
+from .link import Capture, LinkConfig, ScreenCameraLink
+from .mobility import AccelerometerSim, MobilityModel, handheld, tripod, walking
+from .optics import LensModel, apply_radial_distortion
+from .screen import FrameSchedule
+
+__all__ = [
+    "FrameSchedule",
+    "CameraTiming",
+    "compose_rolling_shutter",
+    "EnvironmentProfile",
+    "indoor",
+    "outdoor",
+    "dark_room",
+    "LensModel",
+    "apply_radial_distortion",
+    "MobilityModel",
+    "AccelerometerSim",
+    "tripod",
+    "handheld",
+    "walking",
+    "LinkConfig",
+    "Capture",
+    "ScreenCameraLink",
+]

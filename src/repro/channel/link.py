@@ -1,0 +1,136 @@
+"""The end-to-end screen-camera link.
+
+:class:`ScreenCameraLink` wires every channel substrate together:
+
+    frames -> FrameSchedule (screen, brightness)
+           -> rolling-shutter composite (camera timing)
+           -> pinhole projection at (distance, view angle [+ jitter])
+           -> lens blur / distortion + motion blur (optics, mobility)
+           -> ambient light, vignette, shot & read noise (environment)
+           -> captured sensor images
+
+It replaces the physical testbed of the paper: two Galaxy S4 phones on
+a desk mount at distance d and view angle v_a, under an illumination
+profile.  Every experiment in :mod:`benchmarks` drives this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..imaging.filters import motion_blur
+from ..imaging.geometry import PinholeSetup, warp_perspective
+from ..imaging.sensor import CameraPipeline
+from .camera import CameraTiming, compose_rolling_shutter
+from .environment import EnvironmentProfile, indoor
+from .mobility import MobilityModel, tripod
+from .optics import LensModel
+from .screen import FrameSchedule
+
+__all__ = ["LinkConfig", "Capture", "ScreenCameraLink"]
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """Physical configuration of one transmission session."""
+
+    distance_cm: float = 12.0
+    view_angle_deg: float = 0.0
+    tilt_angle_deg: float = 0.0
+    sensor_size: tuple[int, int] = (480, 800)  # (height, width)
+    screen_width_cm: float = 11.0
+    background_level: float = 0.10  # dim room behind the sender's screen
+    timing: CameraTiming = field(default_factory=CameraTiming)
+    lens: LensModel = field(default_factory=LensModel)
+    environment: EnvironmentProfile = field(default_factory=indoor)
+    mobility: MobilityModel = field(default_factory=tripod)
+    pipeline: CameraPipeline = field(default_factory=CameraPipeline)
+
+    def with_(self, **kwargs) -> "LinkConfig":
+        """Copy with selected fields replaced (sweep helper)."""
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class Capture:
+    """One captured image and its capture start time."""
+
+    time: float
+    image: np.ndarray
+
+
+class ScreenCameraLink:
+    """Simulates a receiver filming a sender's barcode stream."""
+
+    def __init__(self, config: LinkConfig, rng: np.random.Generator | None = None):
+        self.config = config
+        self.rng = rng or np.random.default_rng(0xCA11)
+        # White balance drifts per session, not per capture.
+        self._wb_gains = config.pipeline.sample_gains(self.rng)
+
+    def _setup_for(self, screen_shape: tuple[int, int], jitter: tuple[float, float],
+                   angle_offset: float) -> PinholeSetup:
+        cfg = self.config
+        return PinholeSetup(
+            screen_size_px=screen_shape,
+            sensor_size_px=cfg.sensor_size,
+            screen_width_cm=cfg.screen_width_cm,
+            distance_cm=cfg.distance_cm,
+            view_angle_deg=cfg.view_angle_deg + angle_offset,
+            tilt_angle_deg=cfg.tilt_angle_deg,
+            offset_px=jitter,
+        )
+
+    def capture_at(self, schedule: FrameSchedule, start_time: float) -> Capture:
+        """Produce the single capture whose readout starts at *start_time*."""
+        cfg = self.config
+        composite = compose_rolling_shutter(schedule, cfg.timing, start_time)
+
+        jitter = cfg.mobility.sample_offset(self.rng)
+        angle_offset = cfg.mobility.sample_angle_offset(self.rng)
+        setup = self._setup_for(composite.shape[:2], jitter, angle_offset)
+        homography = setup.homography()
+        shear = cfg.mobility.sample_shear(self.rng)
+        if shear != 0.0:
+            # Rolling-shutter jello: rows shift horizontally in
+            # proportion to their readout time (sensor y coordinate).
+            height = cfg.sensor_size[0]
+            shear_h = np.array(
+                [[1.0, shear / height, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]]
+            )
+            homography = shear_h @ homography
+        sensor = warp_perspective(
+            composite, homography, cfg.sensor_size, fill=cfg.background_level
+        )
+
+        sensor = cfg.lens.apply(sensor, cfg.distance_cm)
+        blur_len, blur_angle = cfg.mobility.sample_blur(self.rng)
+        if blur_len > 0:
+            sensor = motion_blur(sensor, blur_len, blur_angle)
+        sensor = cfg.environment.degrade(sensor, self.rng)
+        sensor = cfg.pipeline.apply(sensor, self._wb_gains)
+        return Capture(time=start_time, image=sensor)
+
+    def capture_stream(
+        self,
+        schedule: FrameSchedule,
+        start_offset: float | None = None,
+    ) -> list[Capture]:
+        """Capture the whole schedule at the camera's capture rate.
+
+        *start_offset* shifts the first capture inside one capture
+        period; by default it is drawn uniformly, modeling the
+        unsynchronized start the paper's tracking bars exist to handle.
+        """
+        cfg = self.config
+        period = cfg.timing.capture_period
+        if start_offset is None:
+            start_offset = float(self.rng.uniform(0.0, period))
+        times = np.arange(start_offset, schedule.duration, period)
+        return [self.capture_at(schedule, float(t)) for t in times]
+
+    def geometry(self, screen_shape: tuple[int, int]) -> PinholeSetup:
+        """The nominal (jitter-free) projection for *screen_shape*."""
+        return self._setup_for(screen_shape, (0.0, 0.0), 0.0)

@@ -1,0 +1,107 @@
+"""Hand-shake and mobility models.
+
+Two smartphones held by hand never stay perfectly aligned: the paper
+lists shaking hands among the decoding challenges and adopts COBRA's
+accelerometer-driven adaptive block sizing.  :class:`MobilityModel`
+produces per-capture pose jitter (translation of the projection) and a
+motion-blur length; :class:`AccelerometerSim` produces the synthetic
+accelerometer magnitudes that the adaptive configurator consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MobilityModel", "tripod", "handheld", "walking", "AccelerometerSim"]
+
+
+@dataclass(frozen=True)
+class MobilityModel:
+    """Random pose disturbance per capture.
+
+    ``jitter_px`` is the standard deviation of the capture-to-capture
+    translation of the projected image; ``blur_px`` scales the linear
+    motion blur during exposure (hand speed x exposure time, in pixels);
+    ``shear_px`` is the rolling-shutter "jello" — rows at the bottom of
+    a capture shift horizontally relative to the top because the hand
+    moved during readout.  All are sampled per capture.
+    """
+
+    name: str = "handheld"
+    jitter_px: float = 1.5
+    blur_px: float = 2.5
+    angle_jitter_deg: float = 0.5
+    shear_px: float = 1.5
+
+    def sample_offset(self, rng: np.random.Generator) -> tuple[float, float]:
+        """Projection-center translation for one capture."""
+        if self.jitter_px <= 0:
+            return 0.0, 0.0
+        dx, dy = rng.normal(0.0, self.jitter_px, size=2)
+        return float(dx), float(dy)
+
+    def sample_blur(self, rng: np.random.Generator) -> tuple[float, float]:
+        """(length_px, angle_deg) of the exposure motion blur."""
+        if self.blur_px <= 0:
+            return 0.0, 0.0
+        length = float(abs(rng.normal(0.0, self.blur_px)))
+        angle = float(rng.uniform(0.0, 180.0))
+        return length, angle
+
+    def sample_angle_offset(self, rng: np.random.Generator) -> float:
+        """Small per-capture view-angle wobble in degrees."""
+        if self.angle_jitter_deg <= 0:
+            return 0.0
+        return float(rng.normal(0.0, self.angle_jitter_deg))
+
+    def sample_shear(self, rng: np.random.Generator) -> float:
+        """Rolling-shutter row shear (px across the full frame height)."""
+        if self.shear_px <= 0:
+            return 0.0
+        return float(rng.normal(0.0, self.shear_px))
+
+
+def tripod() -> MobilityModel:
+    """Both devices fixed — no jitter, no motion blur, no jello."""
+    return MobilityModel(
+        name="tripod", jitter_px=0.0, blur_px=0.0, angle_jitter_deg=0.0, shear_px=0.0
+    )
+
+
+def handheld() -> MobilityModel:
+    """Typical two-hands-holding-phones scenario (the paper's default)."""
+    return MobilityModel(
+        name="handheld", jitter_px=1.5, blur_px=2.5, angle_jitter_deg=0.5, shear_px=1.5
+    )
+
+
+def walking() -> MobilityModel:
+    """Aggressive mobility: large jitter, blur and jello."""
+    return MobilityModel(
+        name="walking", jitter_px=4.0, blur_px=6.0, angle_jitter_deg=1.5, shear_px=4.0
+    )
+
+
+class AccelerometerSim:
+    """Synthetic accelerometer magnitude stream for adaptive configuration.
+
+    Produces readings (in m/s^2 above gravity) whose mean tracks the
+    mobility model's jitter: a tripod reads ~0, walking reads several
+    m/s^2.  The adaptive configurator thresholds a short window of these
+    to pick the block size, as COBRA does.
+    """
+
+    def __init__(self, mobility: MobilityModel, rng: np.random.Generator | None = None):
+        self.mobility = mobility
+        self._rng = rng or np.random.default_rng(0xACCE)
+
+    def reading(self) -> float:
+        """One magnitude sample."""
+        base = 0.8 * self.mobility.jitter_px + 0.5 * self.mobility.blur_px
+        return float(abs(self._rng.normal(base, 0.3 + 0.2 * base)))
+
+    def window(self, n: int = 16) -> np.ndarray:
+        """*n* consecutive readings."""
+        return np.array([self.reading() for __ in range(n)])

@@ -1,0 +1,78 @@
+"""Screen emitter: the sender's display.
+
+Substitutes the Galaxy S4 display: a sequence of rendered barcode
+images shown back to back at the display rate f_d, with the brightness
+setting s_b scaling emitted intensity.  :class:`FrameSchedule` answers
+"what was on the screen at time t", which is all the rolling-shutter
+camera model needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..imaging.noise import scale_brightness
+
+__all__ = ["FrameSchedule"]
+
+
+@dataclass
+class FrameSchedule:
+    """A timed sequence of displayed images.
+
+    Parameters
+    ----------
+    images:
+        Rendered frame images, displayed in order, each for ``1 / f_d``
+        seconds starting at t = 0.
+    display_rate:
+        Frames per second on the screen (the paper's f_d).
+    brightness:
+        Screen brightness setting in ``(0, 1]`` (the paper's s_b, where
+        1.0 is 100 %).
+    """
+
+    images: list[np.ndarray]
+    display_rate: float
+    brightness: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.images:
+            raise ValueError("schedule needs at least one image")
+        if self.display_rate <= 0:
+            raise ValueError("display_rate must be positive")
+        if not 0 < self.brightness <= 1:
+            raise ValueError("brightness must be in (0, 1]")
+        shapes = {img.shape for img in self.images}
+        if len(shapes) != 1:
+            raise ValueError("all scheduled images must share one shape")
+
+    @property
+    def frame_period(self) -> float:
+        """Seconds each frame stays on screen."""
+        return 1.0 / self.display_rate
+
+    @property
+    def duration(self) -> float:
+        """Total display time of the schedule."""
+        return len(self.images) * self.frame_period
+
+    @property
+    def image_shape(self) -> tuple[int, ...]:
+        return self.images[0].shape
+
+    def frame_index_at(self, t: float) -> int:
+        """Index of the frame on screen at time *t* (clamped to the ends)."""
+        idx = int(np.floor(t * self.display_rate))
+        return min(max(idx, 0), len(self.images) - 1)
+
+    def emitted_image(self, index: int) -> np.ndarray:
+        """Frame *index* as physically emitted (brightness applied)."""
+        index = min(max(index, 0), len(self.images) - 1)
+        return scale_brightness(self.images[index], self.brightness)
+
+    def switch_times(self) -> np.ndarray:
+        """Times at which the displayed frame changes."""
+        return np.arange(1, len(self.images)) * self.frame_period

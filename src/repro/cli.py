@@ -1,0 +1,218 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``encode``    bytes/file -> barcode frame stream (.npz) + optional PNGs
+``decode``    capture session (.npz) -> recovered payload
+``simulate``  end-to-end demo over the simulated channel
+``capacity``  print the Section III-B capacity comparison
+``info``      describe a saved frame stream
+
+The CLI wraps the same public API the examples use; it exists so the
+library is drivable without writing Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RainBar color-barcode visual communication (ICDCS 2015 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    enc = sub.add_parser("encode", help="encode a file into a barcode frame stream")
+    enc.add_argument("input", help="input file ('-' reads stdin)")
+    enc.add_argument("-o", "--output", required=True, help="output .npz stream")
+    enc.add_argument("--display-rate", type=int, default=10)
+    enc.add_argument("--block-px", type=int, default=12)
+    enc.add_argument("--png-dir", help="also write one PNG per frame here")
+
+    dec = sub.add_parser("decode", help="decode a capture session (.npz)")
+    dec.add_argument("session", help="capture session saved by the library")
+    dec.add_argument("-o", "--output", help="write recovered bytes here (default stdout)")
+    dec.add_argument("--display-rate", type=int, default=10)
+    dec.add_argument("--block-px", type=int, default=12)
+
+    sim = sub.add_parser("simulate", help="end-to-end demo over the simulated channel")
+    sim.add_argument("--message", default="hello from the RainBar CLI")
+    sim.add_argument("--distance-cm", type=float, default=12.0)
+    sim.add_argument("--angle-deg", type=float, default=0.0)
+    sim.add_argument("--display-rate", type=int, default=10)
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--save-session", help="archive the captures to this .npz")
+
+    sub.add_parser("capacity", help="print the Section III-B capacity table")
+
+    info = sub.add_parser("info", help="describe a saved frame stream")
+    info.add_argument("stream", help=".npz written by `repro encode`")
+    return parser
+
+
+def _config(display_rate: int, block_px: int):
+    from .core.encoder import FrameCodecConfig
+    from .core.layout import FrameLayout
+
+    height, width = 408, 720
+    layout = FrameLayout(
+        grid_rows=max(height // block_px, 10),
+        grid_cols=max(width // block_px, 44),
+        block_px=block_px,
+    )
+    return FrameCodecConfig(layout=layout, display_rate=display_rate)
+
+
+def _cmd_encode(args) -> int:
+    from .core.encoder import FrameEncoder
+    from .io import save_frame_stream, write_png
+
+    data = sys.stdin.buffer.read() if args.input == "-" else Path(args.input).read_bytes()
+    config = _config(args.display_rate, args.block_px)
+    frames = FrameEncoder(config).encode_stream(data)
+    save_frame_stream(args.output, frames)
+    print(f"{len(data)} bytes -> {len(frames)} frames "
+          f"({config.payload_bytes_per_frame} payload bytes each) -> {args.output}")
+    if args.png_dir:
+        png_dir = Path(args.png_dir)
+        png_dir.mkdir(parents=True, exist_ok=True)
+        for frame in frames:
+            write_png(png_dir / f"frame_{frame.header.sequence:05d}.png", frame.render())
+        print(f"wrote {len(frames)} PNGs to {png_dir}")
+    return 0
+
+
+def _cmd_decode(args) -> int:
+    from .core.decoder import DecodeError, FrameDecoder
+    from .core.sync import StreamReassembler
+    from .io import load_captures
+    from .link.reassembly import PayloadAssembler
+
+    captures = load_captures(args.session)
+    config = _config(args.display_rate, args.block_px)
+    decoder = FrameDecoder(config)
+    reassembler = StreamReassembler(config)
+    assembler = PayloadAssembler()
+    dropped = 0
+    for capture in captures:
+        try:
+            extraction = decoder.extract(capture.image)
+        except DecodeError:
+            dropped += 1
+            continue
+        assembler.add_all(reassembler.add_capture(extraction))
+    assembler.add_all(reassembler.flush())
+
+    print(
+        f"{len(captures)} captures, {dropped} dropped; "
+        f"{assembler.received_count} frames recovered; missing {assembler.missing()}",
+        file=sys.stderr,
+    )
+    if not assembler.complete:
+        print("stream incomplete", file=sys.stderr)
+        return 1
+    payload = assembler.payload()
+    if args.output:
+        Path(args.output).write_bytes(payload)
+    else:
+        sys.stdout.buffer.write(payload)
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from .channel.link import LinkConfig, ScreenCameraLink
+    from .channel.screen import FrameSchedule
+    from .core.decoder import DecodeError, FrameDecoder
+    from .core.encoder import FrameEncoder
+    from .core.sync import StreamReassembler
+    from .io import save_captures
+
+    config = _config(args.display_rate, 12)
+    message = args.message.encode()
+    frames = FrameEncoder(config).encode_stream(message)
+    schedule = FrameSchedule(
+        [f.render() for f in frames], display_rate=args.display_rate
+    )
+    link = ScreenCameraLink(
+        LinkConfig(distance_cm=args.distance_cm, view_angle_deg=args.angle_deg),
+        rng=np.random.default_rng(args.seed),
+    )
+    captures = link.capture_stream(schedule)
+    if args.save_session:
+        save_captures(args.save_session, captures)
+
+    decoder = FrameDecoder(config)
+    reassembler = StreamReassembler(config)
+    results = []
+    dropped = 0
+    for capture in captures:
+        try:
+            results.extend(reassembler.add_capture(decoder.extract(capture.image)))
+        except DecodeError:
+            dropped += 1
+    results.extend(reassembler.flush())
+    recovered = b"".join(
+        r.payload for r in sorted(results, key=lambda r: r.sequence) if r.ok
+    )[: len(message)]
+
+    print(f"frames: {len(frames)}, captures: {len(captures)} ({dropped} dropped)")
+    ok = recovered == message
+    print(f"recovered {'OK' if ok else 'MISMATCH'}: {recovered.decode(errors='replace')!r}")
+    return 0 if ok else 1
+
+
+def _cmd_capacity(__) -> int:
+    from .core.capacity import (
+        cobra_code_blocks,
+        galaxy_s4_grid,
+        rainbar_code_blocks_paper,
+        rdcode_code_blocks,
+    )
+
+    cols, rows = galaxy_s4_grid(13)
+    print(f"Galaxy S4 grid: {cols} x {rows} blocks of 13 px")
+    print(f"  RainBar : {rainbar_code_blocks_paper(cols, rows):6d} code blocks")
+    print(f"  COBRA   : {cobra_code_blocks(cols, rows):6d} code blocks")
+    print(f"  RDCode  : {rdcode_code_blocks(cols, rows):6d} code blocks")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    from .io import load_frame_stream
+
+    frames = load_frame_stream(args.stream)
+    first = frames[0]
+    print(f"{len(frames)} frames, grid {first.layout.grid_cols} x "
+          f"{first.layout.grid_rows} at {first.layout.block_px} px")
+    print(f"display rate {first.header.display_rate} fps, "
+          f"app type {first.header.app_type}")
+    print(f"payload {len(first.payload)} bytes/frame; "
+          f"last-frame flag on #{[f.header.sequence for f in frames if f.header.is_last]}")
+    return 0
+
+
+_COMMANDS = {
+    "encode": _cmd_encode,
+    "decode": _cmd_decode,
+    "simulate": _cmd_simulate,
+    "capacity": _cmd_capacity,
+    "info": _cmd_info,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""Error-control coding substrate: GF(256), Reed-Solomon, CRC, interleaving."""
+
+from .crc import Crc8, Crc16, crc8, crc16
+from .galois import GF256, gf_add, gf_div, gf_inverse, gf_mul, gf_pow
+from .interleave import Interleaver, block_deinterleave, block_interleave
+from .reed_solomon import BlockCode, ReedSolomon, RSDecodeError
+
+__all__ = [
+    "Crc8",
+    "Crc16",
+    "crc8",
+    "crc16",
+    "GF256",
+    "gf_add",
+    "gf_mul",
+    "gf_div",
+    "gf_pow",
+    "gf_inverse",
+    "Interleaver",
+    "block_interleave",
+    "block_deinterleave",
+    "ReedSolomon",
+    "BlockCode",
+    "RSDecodeError",
+]

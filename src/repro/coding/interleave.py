@@ -1,0 +1,81 @@
+"""Byte interleaving.
+
+Rolling-shutter mixing and localized blur produce *bursts* of bad blocks
+concentrated in a few rows.  Interleaving the RS-coded byte stream before
+mapping it onto the frame spreads each codeword's bytes across the code
+area, converting row bursts into isolated per-codeword errors that RS can
+correct.  This is the standard trick screen-camera systems use and is
+implicit in RainBar's "RS message" framing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["block_interleave", "block_deinterleave", "Interleaver"]
+
+
+def block_interleave(data: bytes, depth: int) -> bytes:
+    """Row-column block interleave with *depth* rows.
+
+    Writes the stream row-major into a ``depth x ceil(len/depth)`` matrix
+    and reads it column-major.  ``depth <= 1`` is the identity.  The tail
+    is handled exactly (no padding bytes are introduced).
+    """
+    if depth <= 1 or len(data) <= 1:
+        return bytes(data)
+    n = len(data)
+    cols = -(-n // depth)
+    order = _interleave_order(n, depth, cols)
+    arr = np.frombuffer(data, dtype=np.uint8)
+    return bytes(arr[order])
+
+
+def block_deinterleave(data: bytes, depth: int) -> bytes:
+    """Inverse of :func:`block_interleave` with the same *depth*."""
+    if depth <= 1 or len(data) <= 1:
+        return bytes(data)
+    n = len(data)
+    cols = -(-n // depth)
+    order = _interleave_order(n, depth, cols)
+    inverse = np.empty(n, dtype=np.int64)
+    inverse[order] = np.arange(n)
+    arr = np.frombuffer(data, dtype=np.uint8)
+    return bytes(arr[inverse])
+
+
+def _interleave_order(n: int, depth: int, cols: int) -> np.ndarray:
+    """Permutation: output position -> input position, column-major read."""
+    idx = np.arange(depth * cols).reshape(depth, cols)
+    order = idx.T.ravel()
+    return order[order < n]
+
+
+class Interleaver:
+    """Stateful wrapper pairing interleave/deinterleave with a fixed depth."""
+
+    def __init__(self, depth: int):
+        if depth < 1:
+            raise ValueError("interleaver depth must be >= 1")
+        self.depth = depth
+
+    def scramble(self, data: bytes) -> bytes:
+        """Interleave *data* for transmission."""
+        return block_interleave(data, self.depth)
+
+    def unscramble(self, data: bytes) -> bytes:
+        """Restore the original byte order after reception."""
+        return block_deinterleave(data, self.depth)
+
+    def map_erasures(self, positions: list[int], length: int) -> list[int]:
+        """Translate erasure indices from wire order to deinterleaved order.
+
+        *positions* index the interleaved stream; the result indexes the
+        stream :meth:`unscramble` returns, which is what the RS decoder
+        consumes.
+        """
+        if self.depth <= 1 or length <= 1:
+            return sorted(set(positions))
+        cols = -(-length // self.depth)
+        order = _interleave_order(length, self.depth, cols)
+        return sorted({int(order[p]) for p in positions if 0 <= p < length})

@@ -1,0 +1,341 @@
+"""Systematic Reed-Solomon codes over GF(256).
+
+RainBar embeds RS(n, k) parity in every frame: the code corrects up to
+``(n - k) // 2`` byte errors and detects any combination of up to
+``n - k`` errors (Section III-B).  The decoder implements the classical
+chain — syndromes, Berlekamp-Massey, Chien search, Forney — plus erasure
+support (a known-bad position costs one parity byte instead of two),
+which the frame-synchronization layer uses for rows that straddle a
+rolling-shutter boundary.
+
+Encoding uses the descending-order polynomial helpers from
+:mod:`repro.coding.galois`; the decoder keeps its internal polynomials in
+**ascending** order (index i = coefficient of x^i), the natural form for
+the key equation.
+
+Messages longer than ``k`` are chunked transparently by
+:class:`BlockCode`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .galois import gf_inverse, gf_mul, gf_pow, poly_divmod, poly_mul
+
+__all__ = ["ReedSolomon", "RSDecodeError", "BlockCode"]
+
+
+class RSDecodeError(ValueError):
+    """Raised when a received word has more errors than the code corrects."""
+
+
+def _generator_poly(num_parity: int) -> np.ndarray:
+    """g(x) = prod_{i=0}^{num_parity-1} (x - alpha^i), descending order."""
+    gen = np.array([1], dtype=np.int64)
+    for i in range(num_parity):
+        gen = poly_mul(gen, np.array([1, gf_pow(2, i)], dtype=np.int64))
+    return gen
+
+
+# --- ascending-order helpers local to the decoder ------------------------
+
+
+def _asc_eval(poly: list[int], x: int) -> int:
+    """Evaluate an ascending-order polynomial at *x* (Horner from the top)."""
+    acc = 0
+    for coeff in reversed(poly):
+        acc = gf_mul(acc, x) ^ coeff
+    return acc
+
+
+def _asc_mul(p: list[int], q: list[int]) -> list[int]:
+    out = [0] * (len(p) + len(q) - 1)
+    for i, a in enumerate(p):
+        if a:
+            for j, b in enumerate(q):
+                if b:
+                    out[i + j] ^= gf_mul(a, b)
+    return out
+
+
+def _asc_scale(p: list[int], s: int) -> list[int]:
+    return [gf_mul(c, s) for c in p]
+
+
+def _asc_add(p: list[int], q: list[int]) -> list[int]:
+    n = max(len(p), len(q))
+    out = [0] * n
+    for i, c in enumerate(p):
+        out[i] ^= c
+    for i, c in enumerate(q):
+        out[i] ^= c
+    return out
+
+
+def _asc_trim(p: list[int]) -> list[int]:
+    while len(p) > 1 and p[-1] == 0:
+        p = p[:-1]
+    return p
+
+
+def _asc_derivative(p: list[int]) -> list[int]:
+    """Formal derivative over GF(2^m): only odd-power terms survive."""
+    out = [p[i] if i % 2 == 1 else 0 for i in range(1, len(p))]
+    return out or [0]
+
+
+class ReedSolomon:
+    """An RS(n, k) code over GF(256) with consecutive roots alpha^0..alpha^(n-k-1).
+
+    Parameters
+    ----------
+    n:
+        Codeword length in bytes, at most 255.
+    k:
+        Message length in bytes, ``0 < k < n``.
+    """
+
+    def __init__(self, n: int, k: int):
+        if not 0 < k < n <= 255:
+            raise ValueError(f"invalid RS parameters n={n}, k={k} (need 0<k<n<=255)")
+        self.n = n
+        self.k = k
+        self.num_parity = n - k
+        self._gen = _generator_poly(self.num_parity)
+
+    @property
+    def max_errors(self) -> int:
+        """Errors correctable without erasure information."""
+        return self.num_parity // 2
+
+    def encode(self, message: bytes | bytearray | np.ndarray) -> bytes:
+        """Append ``n - k`` parity bytes to a ``k``-byte message."""
+        msg = np.frombuffer(bytes(message), dtype=np.uint8).astype(np.int64)
+        if len(msg) != self.k:
+            raise ValueError(f"message must be exactly {self.k} bytes, got {len(msg)}")
+        shifted = np.concatenate([msg, np.zeros(self.num_parity, dtype=np.int64)])
+        __, remainder = poly_divmod(shifted, self._gen)
+        parity = np.zeros(self.num_parity, dtype=np.int64)
+        parity[self.num_parity - len(remainder) :] = remainder
+        return bytes(np.concatenate([msg, parity]).astype(np.uint8))
+
+    # The codeword polynomial is C(x) = sum_i c_i x^{n-1-i}; byte position
+    # p therefore has locator X = alpha^{n-1-p}.
+
+    def _syndromes(self, word: np.ndarray) -> list[int]:
+        """S_j = C(alpha^j) for j = 0..n-k-1 (all zero iff valid codeword)."""
+        out = []
+        for j in range(self.num_parity):
+            x = gf_pow(2, j)
+            acc = 0
+            for byte in word:
+                acc = gf_mul(acc, x) ^ int(byte)
+            out.append(acc)
+        return out
+
+    def check(self, received: bytes | bytearray | np.ndarray) -> bool:
+        """True when *received* is a valid codeword (all syndromes zero)."""
+        word = np.frombuffer(bytes(received), dtype=np.uint8).astype(np.int64)
+        if len(word) != self.n:
+            return False
+        return not any(self._syndromes(word))
+
+    def decode(
+        self,
+        received: bytes | bytearray | np.ndarray,
+        erasures: list[int] | None = None,
+    ) -> bytes:
+        """Return the corrected ``k``-byte message.
+
+        *erasures* lists byte positions (0-based from the start of the
+        codeword) known to be unreliable.  The code corrects ``e`` errors
+        plus ``s`` erasures whenever ``2 e + s <= n - k``.
+
+        Raises :exc:`RSDecodeError` when correction fails.
+        """
+        word = np.frombuffer(bytes(received), dtype=np.uint8).astype(np.int64)
+        if len(word) != self.n:
+            raise ValueError(f"codeword must be exactly {self.n} bytes, got {len(word)}")
+        erasures = sorted(set(erasures or []))
+        if any(not 0 <= e < self.n for e in erasures):
+            raise ValueError("erasure positions out of range")
+        if len(erasures) > self.num_parity:
+            raise RSDecodeError("more erasures than parity symbols")
+
+        syndromes = self._syndromes(word)
+        if not any(syndromes):
+            return bytes(word[: self.k].astype(np.uint8))
+
+        # Erasure locator Gamma(x) = prod (1 - X_e x), ascending order.
+        gamma = [1]
+        for pos in erasures:
+            x_e = gf_pow(2, self.n - 1 - pos)
+            gamma = _asc_mul(gamma, [1, x_e])
+
+        locator = self._berlekamp_massey(syndromes, gamma, len(erasures))
+        positions = self._chien_search(locator)
+        if positions is None:
+            raise RSDecodeError("error locator degree does not match its roots")
+
+        corrected = self._forney(word, syndromes, locator, positions)
+        if any(self._syndromes(corrected)):
+            raise RSDecodeError("correction failed (residual syndromes)")
+        return bytes(corrected[: self.k].astype(np.uint8))
+
+    def _berlekamp_massey(
+        self, syndromes: list[int], gamma: list[int], num_erasures: int
+    ) -> list[int]:
+        """Berlekamp-Massey seeded with the erasure locator *gamma*.
+
+        Returns the combined errata locator Lambda(x), ascending order.
+        """
+        locator = list(gamma)
+        prev = list(gamma)
+        for step in range(self.num_parity - num_erasures):
+            k = num_erasures + step
+            # Discrepancy delta = sum_i Lambda_i S_{k-i}.
+            delta = 0
+            for i, coeff in enumerate(locator):
+                if k - i < 0:
+                    break
+                delta ^= gf_mul(coeff, syndromes[k - i])
+            prev = [0] + prev  # prev *= x
+            if delta != 0:
+                if len(prev) > len(locator):
+                    # Degree grows: keep a rescaled copy of the old locator
+                    # as the new auxiliary polynomial (Massey's B update).
+                    new_prev = _asc_scale(locator, gf_inverse(delta))
+                    locator = _asc_add(locator, _asc_scale(prev, delta))
+                    prev = new_prev
+                else:
+                    locator = _asc_add(locator, _asc_scale(prev, delta))
+        return _asc_trim(locator)
+
+    def _chien_search(self, locator: list[int]) -> list[int] | None:
+        """Byte positions whose locators are roots of Lambda; None on mismatch."""
+        degree = len(_asc_trim(locator)) - 1
+        if degree == 0:
+            return None
+        positions = []
+        for pos in range(self.n):
+            x_inv = gf_pow(2, (255 - (self.n - 1 - pos)) % 255)
+            if _asc_eval(locator, x_inv) == 0:
+                positions.append(pos)
+        if len(positions) != degree:
+            return None
+        return positions
+
+    def _forney(
+        self,
+        word: np.ndarray,
+        syndromes: list[int],
+        locator: list[int],
+        positions: list[int],
+    ) -> np.ndarray:
+        """Correct *word* in place (on a copy) at *positions*.
+
+        With roots starting at alpha^0, the magnitude at position p with
+        locator X is ``Y = X * Omega(X^{-1}) / Lambda'(X^{-1})``.
+        """
+        # Omega(x) = S(x) Lambda(x) mod x^{2t}, ascending order.
+        omega = _asc_mul(syndromes, locator)[: self.num_parity]
+        deriv = _asc_derivative(locator)
+
+        corrected = word.copy()
+        for pos in positions:
+            x = gf_pow(2, self.n - 1 - pos)
+            x_inv = gf_inverse(x)
+            denom = _asc_eval(deriv, x_inv)
+            if denom == 0:
+                raise RSDecodeError("Forney denominator zero")
+            numer = gf_mul(x, _asc_eval(omega, x_inv))
+            corrected[pos] ^= gf_mul(numer, gf_inverse(denom))
+        return corrected
+
+
+@dataclass(frozen=True)
+class BlockCode:
+    """Chunked RS coding for arbitrary-length payloads.
+
+    Splits a payload into ``k``-byte chunks (zero-padded at the tail),
+    encodes each with RS(n, k), and concatenates.  ``decode`` accepts the
+    original payload length so padding is stripped.
+    """
+
+    n: int
+    k: int
+
+    @property
+    def rate(self) -> float:
+        """Code rate k/n — the fraction of transmitted bytes that is data."""
+        return self.k / self.n
+
+    def encoded_length(self, payload_length: int) -> int:
+        """Bytes on the wire for a payload of *payload_length* bytes."""
+        chunks = max(1, -(-payload_length // self.k))
+        return chunks * self.n
+
+    def encode(self, payload: bytes) -> bytes:
+        """Encode *payload* into a sequence of RS codewords."""
+        rs = ReedSolomon(self.n, self.k)
+        chunks = max(1, -(-len(payload) // self.k))
+        padded = payload.ljust(chunks * self.k, b"\x00")
+        return b"".join(
+            rs.encode(padded[i * self.k : (i + 1) * self.k]) for i in range(chunks)
+        )
+
+    def decode(
+        self,
+        coded: bytes,
+        payload_length: int,
+        erasures: list[int] | None = None,
+    ) -> bytes:
+        """Decode back to exactly *payload_length* bytes.
+
+        *erasures* indexes into the coded byte stream; indices are routed
+        to their chunk.  Raises :exc:`RSDecodeError` if any chunk fails.
+        """
+        if len(coded) % self.n:
+            raise ValueError("coded length is not a multiple of n")
+        rs = ReedSolomon(self.n, self.k)
+        per_chunk: dict[int, list[int]] = {}
+        for idx in erasures or []:
+            per_chunk.setdefault(idx // self.n, []).append(idx % self.n)
+        out = bytearray()
+        for chunk_idx in range(len(coded) // self.n):
+            chunk = coded[chunk_idx * self.n : (chunk_idx + 1) * self.n]
+            out.extend(rs.decode(chunk, per_chunk.get(chunk_idx)))
+        return bytes(out[:payload_length])
+
+    def decode_lenient(
+        self,
+        coded: bytes,
+        payload_length: int,
+        erasures: list[int] | None = None,
+    ) -> tuple[bytes, list[int]]:
+        """Best-effort decode: failed chunks pass through uncorrected.
+
+        Returns ``(payload, failed_chunk_indices)``.  A failed chunk
+        contributes its systematic bytes verbatim (parity stripped), so a
+        higher coding layer can treat those byte ranges as erasures —
+        the layering RDCode's tri-level scheme relies on.
+        """
+        if len(coded) % self.n:
+            raise ValueError("coded length is not a multiple of n")
+        rs = ReedSolomon(self.n, self.k)
+        per_chunk: dict[int, list[int]] = {}
+        for idx in erasures or []:
+            per_chunk.setdefault(idx // self.n, []).append(idx % self.n)
+        out = bytearray()
+        failed = []
+        for chunk_idx in range(len(coded) // self.n):
+            chunk = coded[chunk_idx * self.n : (chunk_idx + 1) * self.n]
+            try:
+                out.extend(rs.decode(chunk, per_chunk.get(chunk_idx)))
+            except RSDecodeError:
+                failed.append(chunk_idx)
+                out.extend(chunk[: self.k])
+        return bytes(out[:payload_length]), failed

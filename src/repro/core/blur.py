@@ -1,0 +1,51 @@
+"""Blur assessment (Section III-D, adopted from COBRA).
+
+When the display rate is at most half the capture rate, every displayed
+frame is photographed at least twice; decoding all copies wastes time,
+so the receiver scores each capture's sharpness and keeps the best one.
+The score is the mean gradient energy of the luma channel — blur
+attenuates the barcode's block edges, so sharper captures score higher.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..imaging.metrics import gradient_energy
+
+__all__ = ["sharpness_score", "BestCaptureSelector"]
+
+
+def sharpness_score(image: np.ndarray) -> float:
+    """Scalar sharpness of a capture; higher is sharper."""
+    return gradient_energy(image)
+
+
+class BestCaptureSelector:
+    """Keeps the sharpest capture per frame sequence number.
+
+    Feed each (sequence, image) pair with :meth:`offer`; the selector
+    remembers only the best-scoring capture per sequence, and
+    :meth:`take` hands it over exactly once.
+    """
+
+    def __init__(self) -> None:
+        self._best: dict[int, tuple[float, np.ndarray]] = {}
+
+    def offer(self, sequence: int, image: np.ndarray) -> bool:
+        """Register a capture; True if it became the best for its frame."""
+        score = sharpness_score(image)
+        incumbent = self._best.get(sequence)
+        if incumbent is None or score > incumbent[0]:
+            self._best[sequence] = (score, image)
+            return True
+        return False
+
+    def take(self, sequence: int) -> np.ndarray | None:
+        """Remove and return the best capture for *sequence*, if any."""
+        entry = self._best.pop(sequence, None)
+        return None if entry is None else entry[1]
+
+    def pending(self) -> list[int]:
+        """Sequence numbers with a stored capture."""
+        return sorted(self._best)

@@ -1,0 +1,411 @@
+"""Receiver-side pipeline: captured image -> symbols -> frame payload.
+
+The pipeline follows the paper's receiver column (Fig. 1):
+
+1. brightness assessment -> T_v (:mod:`repro.core.brightness`);
+2. corner tracker detection (:mod:`repro.core.corners`);
+3. progressive locator localization (:mod:`repro.core.locators`);
+4. block localization via Eq. (1) (:mod:`repro.core.blocks`);
+5. header extraction and per-row tracking-bar reading;
+6. HSV color recognition (:mod:`repro.core.recognition`);
+7. de-interleave + RS error correction + CRC-16 verification.
+
+:class:`FrameDecoder.extract` performs steps 1-6 on a single capture and
+returns a :class:`CaptureExtraction` — the symbol grid plus the per-row
+frame assignment that frame synchronization needs.  Turning (possibly
+several) extractions into frame payloads is step 7,
+:func:`assemble_frame`, used directly for whole captures and by
+:class:`repro.core.sync.StreamReassembler` for rolling-shutter mixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..coding.crc import crc16
+from ..coding.reed_solomon import RSDecodeError
+from .blocks import BlockLocalizer
+from .blur import sharpness_score
+from .brightness import DEFAULT_T_SAT, estimate_black_threshold
+from .corners import CornerDetectionError, detect_corner_trackers
+from .encoder import FrameCodecConfig
+from .header import HEADER_BYTES, FrameHeader, HeaderError
+from .layout import FrameLayout
+from .locators import LocatorError, find_first_middle_locator, walk_locator_column
+from .palette import Color, symbols_to_bytes, tracking_bar_difference
+from .recognition import ColorClassifier
+
+__all__ = [
+    "DecodeError",
+    "CaptureExtraction",
+    "FrameResult",
+    "FrameDecoder",
+    "assemble_frame",
+]
+
+#: Color index -> 2-bit symbol; black and out-of-alphabet map to -1 (erasure).
+_COLOR_TO_SYMBOL = np.full(8, -1, dtype=np.int64)
+_COLOR_TO_SYMBOL[int(Color.WHITE)] = 0
+_COLOR_TO_SYMBOL[int(Color.RED)] = 1
+_COLOR_TO_SYMBOL[int(Color.GREEN)] = 2
+_COLOR_TO_SYMBOL[int(Color.BLUE)] = 3
+
+
+class DecodeError(RuntimeError):
+    """A capture could not be decoded at all (no corners, no header...)."""
+
+
+@dataclass(frozen=True)
+class DecodeDiagnostics:
+    """Pipeline internals exposed for benchmarks and debugging."""
+
+    t_value: float
+    block_size: float
+    locator_refinement: float  # fraction of locators that converged
+    corner_purity: float
+    sharpness: float
+
+
+@dataclass
+class CaptureExtraction:
+    """Everything one capture yields before error correction.
+
+    ``row_assignment[r]`` is 0 when grid row ``r`` belongs to the frame
+    whose header was read, 1 when it belongs to the next frame (rolling
+    shutter mix), and -1 when the tracking bars disagreed (the row is
+    treated as erased).  ``data_symbols`` holds one 2-bit symbol (or -1)
+    per layout data cell, in layout order; rows assigned to the next
+    frame still carry their symbols here — the reassembler routes them.
+    """
+
+    header: FrameHeader
+    row_assignment: np.ndarray  # (grid_rows,)
+    data_symbols: np.ndarray  # (num_data_cells,)
+    diagnostics: DecodeDiagnostics
+    centers: np.ndarray = field(repr=False, default=None)  # (N, 2) data-cell centers
+    #: Per-grid-row confidence in [0, 1]: rows adjacent to the rolling-
+    #: shutter split are exposure-blended and should lose merge conflicts.
+    row_confidence: np.ndarray = field(default=None)
+
+    @property
+    def has_next_frame_rows(self) -> bool:
+        """True when the capture mixes two consecutive frames."""
+        return bool(np.any(self.row_assignment == 1))
+
+
+@dataclass(frozen=True)
+class FrameResult:
+    """Outcome of decoding one logical frame."""
+
+    sequence: int
+    ok: bool
+    payload: bytes
+    is_last: bool = False
+    erased_bytes: int = 0
+    failure: str = ""
+
+    @property
+    def payload_bytes(self) -> int:
+        return len(self.payload)
+
+
+class FrameDecoder:
+    """Decodes captures produced by a RainBar sender with *config*.
+
+    ``use_middle_locator=False`` switches block localization to the
+    two-column COBRA-style interpolation (ablation A1); the mean-filter
+    radius and T_sat knobs feed ablation A2.
+    """
+
+    def __init__(
+        self,
+        config: FrameCodecConfig,
+        min_block_px: float = 3.0,
+        max_block_px: float = 40.0,
+        t_sat: float = DEFAULT_T_SAT,
+        mean_filter_radius: int = 1,
+        use_middle_locator: bool = True,
+        projective_interpolation: bool = True,
+        classifier_mode: str = "hsv",
+        use_tracking_bars: bool = True,
+    ):
+        self.config = config
+        self.min_block_px = min_block_px
+        self.max_block_px = max_block_px
+        self.t_sat = t_sat
+        self.mean_filter_radius = mean_filter_radius
+        self.use_middle_locator = use_middle_locator
+        self.projective_interpolation = projective_interpolation
+        self.classifier_mode = classifier_mode
+        self.use_tracking_bars = use_tracking_bars
+
+    # -- step 1-6: geometry + classification -----------------------------
+
+    def extract(self, image: np.ndarray) -> CaptureExtraction:
+        """Run geometry recovery and color recognition on one capture.
+
+        Raises :exc:`DecodeError` when the capture is unusable (corner
+        trackers or locator columns not found, header CRC failure).
+        """
+        image = np.asarray(image, dtype=np.float64)
+        layout = self.config.layout
+
+        brightness = estimate_black_threshold(image)
+        classifier = ColorClassifier(
+            t_value=brightness.t_value,
+            t_sat=self.t_sat,
+            mean_filter_radius=self.mean_filter_radius,
+            mode=self.classifier_mode,
+        )
+
+        try:
+            corners = detect_corner_trackers(
+                image, classifier, self.min_block_px, self.max_block_px
+            )
+        except CornerDetectionError as exc:
+            raise DecodeError(str(exc)) from exc
+
+        localizer = self._localize(image, classifier, corners)
+        centers = localizer.cell_centers(layout.data_cells)
+        if not self.use_middle_locator:
+            centers = localizer.two_point_centers_naive(layout.data_cells)
+
+        header = self._read_header(image, classifier, localizer)
+        row_assignment = self._read_tracking_bars(image, classifier, localizer, header)
+
+        colors = classifier.classify_centers(image, centers)
+        data_symbols = _COLOR_TO_SYMBOL[colors]
+        # Rows whose tracking bars disagreed are erased outright.
+        bad_rows = np.flatnonzero(row_assignment < 0)
+        if bad_rows.size:
+            erased = np.isin(layout.symbol_rows, bad_rows)
+            data_symbols = np.where(erased, -1, data_symbols)
+
+        diagnostics = DecodeDiagnostics(
+            t_value=brightness.t_value,
+            block_size=corners.block_size,
+            locator_refinement=(
+                localizer.left.refinement_rate
+                + localizer.middle.refinement_rate
+                + localizer.right.refinement_rate
+            )
+            / 3.0,
+            corner_purity=min(corners.left.purity, corners.right.purity),
+            sharpness=sharpness_score(image),
+        )
+        # Rows at the rolling-shutter split are exposure-blended: their
+        # symbols are the least trustworthy of any capture that holds
+        # them, so they carry reduced merge confidence.
+        confidence = np.ones(layout.grid_rows)
+        changed = np.flatnonzero(np.diff(row_assignment) != 0)
+        for idx in changed:
+            confidence[max(idx - 1, 0) : idx + 3] = 0.2
+        confidence[row_assignment < 0] = 0.0
+
+        return CaptureExtraction(
+            header=header,
+            row_assignment=row_assignment,
+            data_symbols=data_symbols,
+            diagnostics=diagnostics,
+            centers=centers,
+            row_confidence=confidence,
+        )
+
+    def decode_capture(self, image: np.ndarray) -> FrameResult:
+        """Single-shot decode assuming the capture holds one whole frame.
+
+        The fast path for ``f_d <= f_c / 2``; mixed captures should go
+        through :class:`repro.core.sync.StreamReassembler` instead.
+        """
+        extraction = self.extract(image)
+        symbols = extraction.data_symbols.copy()
+        foreign = np.isin(
+            self.config.layout.symbol_rows, np.flatnonzero(extraction.row_assignment != 0)
+        )
+        symbols[foreign] = -1
+        return assemble_frame(self.config, extraction.header, symbols)
+
+    # -- internals ---------------------------------------------------------
+
+    def _localize(self, image, classifier, corners) -> BlockLocalizer:
+        layout = self.config.layout
+        count = len(list(layout.locator_rows))
+        step = corners.row_step() * 2.0
+        block = corners.block_size
+
+        left = walk_locator_column(
+            image, classifier, np.array(corners.left.center), step, count, block,
+            column=layout.left_locator_col, start_row=layout.ct_center_row,
+        )
+        right = walk_locator_column(
+            image, classifier, np.array(corners.right.center), step, count, block,
+            column=layout.right_locator_col, start_row=layout.ct_center_row,
+        )
+
+        # Seed the middle-column search.  The paper scans a 3-BST window
+        # around the midpoint of the CT centers; under strong perspective
+        # the true middle column shifts away from the image-space
+        # midpoint, so the seed is refined projectively from the four
+        # outer anchors already walked (CT centers + bottom locators) —
+        # same window and component test, better-centered window.
+        midpoint = self._middle_seed(corners, left, right)
+        try:
+            first_mid = find_first_middle_locator(
+                image, classifier, midpoint, block, self.min_block_px, self.max_block_px
+            )
+        except LocatorError as exc:
+            if self.use_middle_locator:
+                raise DecodeError(str(exc)) from exc
+            first_mid = midpoint  # ablation path tolerates a missing middle
+        middle = walk_locator_column(
+            image, classifier, first_mid, step, count, block,
+            column=layout.middle_locator_col, start_row=layout.ct_center_row,
+        )
+
+        if left.refinement_rate < 0.3 or right.refinement_rate < 0.3:
+            raise DecodeError(
+                "locator columns mostly failed to converge "
+                f"(left {left.refinement_rate:.0%}, right {right.refinement_rate:.0%})"
+            )
+        return BlockLocalizer(
+            layout=layout,
+            left=left,
+            middle=middle,
+            right=right,
+            projective=self.projective_interpolation,
+        )
+
+    def _middle_seed(self, corners, left, right) -> np.ndarray:
+        """Expected position of the first middle locator.
+
+        Estimates the grid->image homography from the four outer anchors
+        and maps the middle column's first locator cell through it.
+        Falls back to the plain CT midpoint when the anchors are
+        degenerate (e.g. a very short locator walk).
+        """
+        from ..imaging.geometry import apply_homography, estimate_homography
+
+        layout = self.config.layout
+        row0 = layout.ct_center_row
+        row_last = layout.last_locator_row
+        src = np.array(
+            [
+                [layout.left_locator_col, row0],
+                [layout.right_locator_col, row0],
+                [layout.left_locator_col, row_last],
+                [layout.right_locator_col, row_last],
+            ],
+            dtype=np.float64,
+        )
+        dst = np.array(
+            [left.positions[0], right.positions[0], left.positions[-1], right.positions[-1]]
+        )
+        try:
+            h = estimate_homography(src, dst)
+            return apply_homography(h, np.array([layout.middle_locator_col, row0], float))
+        except (np.linalg.LinAlgError, ValueError):
+            return 0.5 * (np.array(corners.left.center) + np.array(corners.right.center))
+
+    def _read_header(self, image, classifier, localizer) -> FrameHeader:
+        layout = self.config.layout
+        centers = localizer.cell_centers(layout.header_cells)
+        colors = classifier.classify_centers(image, centers)
+        symbols = _COLOR_TO_SYMBOL[colors]
+        needed = HEADER_BYTES * 4
+        if len(symbols) < needed:
+            raise DecodeError("header row too short for the header format")
+        head = np.where(symbols[:needed] < 0, 0, symbols[:needed])
+        try:
+            header = FrameHeader.unpack(symbols_to_bytes(head))
+        except HeaderError as exc:
+            raise DecodeError(f"header unreadable: {exc}") from exc
+        if header.display_rate == 0:
+            # An all-zero header row is CRC-consistent (CRC-8 of 0x0000 is
+            # 0x00); a real sender always advertises a non-zero rate.
+            raise DecodeError("header implausible: display rate 0")
+        return header
+
+    def _read_tracking_bars(self, image, classifier, localizer, header) -> np.ndarray:
+        """Per-row frame assignment from the left/right tracking bars."""
+        layout = self.config.layout
+        rows = np.arange(layout.grid_rows)
+        if not self.use_tracking_bars:
+            # Ablation A3: a receiver without frame synchronization
+            # assumes every captured row belongs to the header's frame —
+            # exactly what COBRA does, and what fails once f_d > f_c/2.
+            return np.zeros(layout.grid_rows, dtype=np.int64)
+        left_centers = localizer.column_centers(rows, 0)
+        right_centers = localizer.column_centers(rows, layout.grid_cols - 1)
+        left_sym = _COLOR_TO_SYMBOL[classifier.classify_centers(image, left_centers)]
+        right_sym = _COLOR_TO_SYMBOL[classifier.classify_centers(image, right_centers)]
+
+        assignment = np.full(layout.grid_rows, -1, dtype=np.int64)
+        for r in rows:
+            ls, rs = int(left_sym[r]), int(right_sym[r])
+            if ls >= 0 and rs >= 0 and ls != rs:
+                continue  # bars disagree: leave erased
+            indicator = ls if ls >= 0 else rs
+            if indicator < 0:
+                continue
+            d_t = tracking_bar_difference(indicator, header.tracking_indicator)
+            if d_t <= 1:
+                assignment[r] = d_t
+        return assignment
+
+
+def assemble_frame(
+    config: FrameCodecConfig,
+    header: FrameHeader,
+    symbols: np.ndarray,
+) -> FrameResult:
+    """Error-correct and verify one frame's symbol vector (step 7).
+
+    *symbols* must align with ``config.layout.data_cells``; entries of
+    -1 are erasures (unclassifiable blocks, bad rows, rows never seen).
+    """
+    symbols = np.asarray(symbols, dtype=np.int64)
+    used = 4 * config.coded_bytes_per_frame
+    active = symbols[:used]
+    erased_symbols = active < 0
+    clean = np.where(erased_symbols, 0, active)
+    wire = symbols_to_bytes(clean)
+    byte_erasures = sorted(set(np.flatnonzero(erased_symbols) // 4))
+
+    interleaver = config.interleaver
+    coded = interleaver.unscramble(wire)
+    erasures = interleaver.map_erasures(list(byte_erasures), len(wire))
+
+    message_len = config.message_bytes_per_frame
+    try:
+        message = config.block_code.decode(coded, message_len, erasures=erasures)
+    except RSDecodeError:
+        try:
+            # Fallback: erasure info can exceed the budget even when the
+            # actual error count is correctable; retry errors-only.
+            message = config.block_code.decode(coded, message_len)
+        except RSDecodeError as exc:
+            return FrameResult(
+                sequence=header.sequence,
+                ok=False,
+                payload=b"",
+                is_last=header.is_last,
+                erased_bytes=len(byte_erasures),
+                failure=f"RS decode failed: {exc}",
+            )
+
+    payload, tail = message[:-2], message[-2:]
+    checksum = (tail[0] << 8) | tail[1]
+    ok = checksum == crc16(payload) and checksum == header.payload_checksum
+    # The payload is returned even when verification fails: the paper's
+    # decoding-rate metric counts correctly decoded data inside failed
+    # frames, and the transfer layer NACKs on `ok` alone.
+    return FrameResult(
+        sequence=header.sequence,
+        ok=ok,
+        payload=payload,
+        is_last=header.is_last,
+        erased_bytes=len(byte_erasures),
+        failure="" if ok else "payload CRC mismatch",
+    )

@@ -1,0 +1,121 @@
+"""Colors and bit mappings.
+
+RainBar encodes 2 bits per block using four data colors and reserves
+black for structure (corner-tracker centers and code locators).  The
+paper's mapping (Section III-B): white = 00, red = 01, green = 10,
+blue = 11.  The same 2-bit alphabet selects the tracking-bar color from
+the low 2 bits of the frame sequence number, so any four consecutive
+frames have four distinct bar colors.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+import numpy as np
+
+__all__ = [
+    "Color",
+    "DATA_COLORS",
+    "COLOR_RGB",
+    "rgb_of",
+    "bits_to_color",
+    "color_to_bits",
+    "bytes_to_symbols",
+    "symbols_to_bytes",
+    "tracking_color_for_sequence",
+    "tracking_bar_difference",
+]
+
+
+class Color(IntEnum):
+    """The five-color alphabet of a RainBar frame."""
+
+    BLACK = 0
+    WHITE = 1
+    RED = 2
+    GREEN = 3
+    BLUE = 4
+
+
+#: Data colors indexed by their 2-bit symbol value (paper Section III-D).
+DATA_COLORS: tuple[Color, ...] = (Color.WHITE, Color.RED, Color.GREEN, Color.BLUE)
+
+#: Display RGB for each color, floats in [0, 1].
+COLOR_RGB: dict[Color, tuple[float, float, float]] = {
+    Color.BLACK: (0.0, 0.0, 0.0),
+    Color.WHITE: (1.0, 1.0, 1.0),
+    Color.RED: (1.0, 0.0, 0.0),
+    Color.GREEN: (0.0, 1.0, 0.0),
+    Color.BLUE: (0.0, 0.0, 1.0),
+}
+
+_RGB_TABLE = np.array([COLOR_RGB[Color(i)] for i in range(5)], dtype=np.float64)
+
+
+def rgb_of(color: Color | int) -> np.ndarray:
+    """RGB triple of *color* as a float array."""
+    return _RGB_TABLE[int(color)].copy()
+
+
+def rgb_table() -> np.ndarray:
+    """The (5, 3) table mapping color index -> RGB (copy)."""
+    return _RGB_TABLE.copy()
+
+
+def bits_to_color(symbol: int) -> Color:
+    """Map a 2-bit symbol (0-3) to its data color."""
+    if not 0 <= symbol <= 3:
+        raise ValueError(f"symbol must be 2 bits, got {symbol}")
+    return DATA_COLORS[symbol]
+
+
+def color_to_bits(color: Color | int) -> int:
+    """Map a data color back to its 2-bit symbol; black is invalid here."""
+    color = Color(color)
+    try:
+        return DATA_COLORS.index(color)
+    except ValueError:
+        raise ValueError(f"{color!r} does not encode data bits") from None
+
+
+def bytes_to_symbols(data: bytes) -> np.ndarray:
+    """Expand a byte string into 2-bit symbols, MSB-first within each byte.
+
+    One byte becomes four symbols; the result is an int array of values
+    0-3 ready to be mapped onto data blocks.
+    """
+    if not data:
+        return np.zeros(0, dtype=np.int64)
+    arr = np.frombuffer(data, dtype=np.uint8).astype(np.int64)
+    shifts = np.array([6, 4, 2, 0])
+    return ((arr[:, np.newaxis] >> shifts) & 0x3).ravel()
+
+
+def symbols_to_bytes(symbols: np.ndarray) -> bytes:
+    """Pack 2-bit symbols (length divisible by 4) back into bytes."""
+    symbols = np.asarray(symbols, dtype=np.int64)
+    if len(symbols) % 4:
+        raise ValueError("symbol count must be a multiple of 4 to form bytes")
+    if len(symbols) == 0:
+        return b""
+    if np.any((symbols < 0) | (symbols > 3)):
+        raise ValueError("symbols must be 2-bit values")
+    grouped = symbols.reshape(-1, 4)
+    packed = (grouped[:, 0] << 6) | (grouped[:, 1] << 4) | (grouped[:, 2] << 2) | grouped[:, 3]
+    return bytes(packed.astype(np.uint8))
+
+
+def tracking_color_for_sequence(sequence: int) -> Color:
+    """Tracking-bar color for a frame: low 2 bits of the sequence number."""
+    return bits_to_color(sequence & 0x3)
+
+
+def tracking_bar_difference(row_indicator: int, frame_indicator: int) -> int:
+    """The paper's d_t: cyclic difference between two 2-bit bar indicators.
+
+    ``0`` means the row belongs to the current frame, ``1`` to the next
+    frame; ``>= 2`` signals a corrupted capture that should be dropped
+    (Section III-D).
+    """
+    return (row_indicator - frame_indicator) % 4

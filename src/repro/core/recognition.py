@@ -1,0 +1,116 @@
+"""HSV-based robust code extraction (Section III-F).
+
+Recognizing a block means recognizing the color of the pixel at its
+center.  The classifier:
+
+1. denoises with a 3x3 **mean filter** — here realized by averaging the
+   nine bilinear samples around each (sub-pixel) block center, which is
+   equivalent to filtering the image and sampling once, but touches only
+   the pixels the decoder needs;
+2. converts to HSV and classifies into the five-color alphabet:
+   value < T_v -> black; else saturation < T_sat -> white; else hue in
+   (60, 180] -> green, (180, 300] -> blue, otherwise red.
+
+T_v comes from :mod:`repro.core.brightness`; T_sat is effectively
+constant across illuminance (paper: 0.41).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..imaging.color import rgb_to_hsv
+from ..imaging.interpolation import sample_bilinear
+from .brightness import DEFAULT_T_SAT
+from .palette import Color
+
+__all__ = ["ColorClassifier", "classify_hsv", "classify_rgb_nearest", "sample_block_colors"]
+
+_GREEN_LO, _GREEN_HI = 60.0, 180.0
+_BLUE_HI = 300.0
+
+
+def classify_hsv(
+    hsv: np.ndarray,
+    t_value: float,
+    t_sat: float = DEFAULT_T_SAT,
+) -> np.ndarray:
+    """Classify HSV pixels ``(..., 3)`` into color indices (vectorized)."""
+    hsv = np.asarray(hsv, dtype=np.float64)
+    hue, sat, val = hsv[..., 0], hsv[..., 1], hsv[..., 2]
+    out = np.full(hue.shape, int(Color.RED), dtype=np.int64)
+    out[(hue > _GREEN_LO) & (hue <= _GREEN_HI)] = int(Color.GREEN)
+    out[(hue > _GREEN_HI) & (hue <= _BLUE_HI)] = int(Color.BLUE)
+    out[sat < t_sat] = int(Color.WHITE)
+    out[val < t_value] = int(Color.BLACK)
+    return out
+
+
+def sample_block_colors(
+    image: np.ndarray,
+    centers: np.ndarray,
+    mean_filter_radius: int = 1,
+) -> np.ndarray:
+    """Mean-filtered RGB at each ``(x, y)`` center in *centers*.
+
+    Averages the ``(2r+1)^2`` bilinear samples on the unit-spaced grid
+    around each center — the paper's 3x3 mean filter for r = 1.  Returns
+    an ``(N, 3)`` array.
+    """
+    centers = np.atleast_2d(np.asarray(centers, dtype=np.float64))
+    if mean_filter_radius <= 0:
+        return sample_bilinear(image, centers[:, 0], centers[:, 1])
+    offsets = np.arange(-mean_filter_radius, mean_filter_radius + 1, dtype=np.float64)
+    dx, dy = np.meshgrid(offsets, offsets)
+    # One vectorized sampling call over the (N, k^2) offset fan.
+    xs = centers[:, 0, np.newaxis] + dx.ravel()
+    ys = centers[:, 1, np.newaxis] + dy.ravel()
+    samples = sample_bilinear(image, xs, ys)  # (N, k^2, 3)
+    return samples.mean(axis=1)
+
+
+def classify_rgb_nearest(pixels: np.ndarray) -> np.ndarray:
+    """Naive alternative: nearest reference color in RGB space.
+
+    Uses the *display* primaries as references, so any illuminance or
+    brightness change shifts every pixel away from its reference — the
+    fragility the paper's HSV design avoids (ablation A2 quantifies it).
+    """
+    from .palette import rgb_table
+
+    pixels = np.asarray(pixels, dtype=np.float64)
+    refs = rgb_table()  # (5, 3), indexed by Color
+    dists = np.linalg.norm(pixels[..., np.newaxis, :] - refs, axis=-1)
+    return np.argmin(dists, axis=-1)
+
+
+@dataclass(frozen=True)
+class ColorClassifier:
+    """Block-color recognizer binding the thresholds of one capture.
+
+    ``t_value`` must come from the capture's own brightness assessment;
+    ``t_sat`` rarely needs changing.  Set ``mean_filter_radius=0`` to
+    disable denoising, or ``mode="rgb"`` for the naive RGB
+    nearest-neighbour classifier (both are ablation knobs).
+    """
+
+    t_value: float
+    t_sat: float = DEFAULT_T_SAT
+    mean_filter_radius: int = 1
+    mode: str = "hsv"
+
+    def classify_centers(self, image: np.ndarray, centers: np.ndarray) -> np.ndarray:
+        """Color index of the block at each ``(x, y)`` center."""
+        rgb = sample_block_colors(image, centers, self.mean_filter_radius)
+        return self.classify_pixels_denoised(rgb)
+
+    def classify_pixels(self, pixels: np.ndarray) -> np.ndarray:
+        """Color index of raw RGB pixels ``(..., 3)`` (no denoising)."""
+        return self.classify_pixels_denoised(np.asarray(pixels, dtype=np.float64))
+
+    def classify_pixels_denoised(self, rgb: np.ndarray) -> np.ndarray:
+        if self.mode == "rgb":
+            return classify_rgb_nearest(rgb)
+        return classify_hsv(rgb_to_hsv(rgb), self.t_value, self.t_sat)

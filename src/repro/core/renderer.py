@@ -1,0 +1,53 @@
+"""Rendering a frame grid into display pixels.
+
+The sender's drawing step: each grid cell becomes a ``block_px`` square
+of its color.  Rendering is a single ``np.kron`` expansion of the color
+index grid through the RGB table, which is what makes the four-thread
+drawing pipeline of the paper unnecessary here (Section IV measures the
+phone's drawing cost; our bench reproduces that experiment by timing
+this function).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layout import FrameLayout
+from .palette import rgb_table
+
+__all__ = ["render_grid", "render_region"]
+
+
+def render_grid(grid: np.ndarray, layout: FrameLayout) -> np.ndarray:
+    """Render a ``(grid_rows, grid_cols)`` color-index grid to an RGB image.
+
+    Returns a float image of shape ``layout.size_px + (3,)`` with values
+    in ``[0, 1]``.
+    """
+    grid = np.asarray(grid, dtype=np.int64)
+    if grid.shape != (layout.grid_rows, layout.grid_cols):
+        raise ValueError(
+            f"grid shape {grid.shape} does not match layout "
+            f"({layout.grid_rows}, {layout.grid_cols})"
+        )
+    rgb = rgb_table()[grid]  # (rows, cols, 3)
+    block = np.ones((layout.block_px, layout.block_px, 1))
+    return np.kron(rgb, block)
+
+
+def render_region(
+    grid: np.ndarray,
+    layout: FrameLayout,
+    row_range: tuple[int, int],
+) -> np.ndarray:
+    """Render only grid rows ``[row_range[0], row_range[1])``.
+
+    Used by the screen simulator when compositing rolling-shutter
+    captures: partial renders avoid re-drawing whole frames.
+    """
+    r0, r1 = row_range
+    if not 0 <= r0 < r1 <= layout.grid_rows:
+        raise ValueError(f"invalid row range {row_range}")
+    rgb = rgb_table()[np.asarray(grid, dtype=np.int64)[r0:r1]]
+    block = np.ones((layout.block_px, layout.block_px, 1))
+    return np.kron(rgb, block)

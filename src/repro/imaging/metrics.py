@@ -1,0 +1,69 @@
+"""Image quality metrics.
+
+Blur assessment (Section III-D, adopted from COBRA) needs a scalar
+sharpness score to pick the best capture when a frame is photographed
+more than once; tests and benchmarks additionally use PSNR and mean
+absolute error to validate the channel simulator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .color import luminance
+
+__all__ = ["gradient_energy", "laplacian_variance", "psnr", "mean_abs_error"]
+
+
+def _intensity(image: np.ndarray) -> np.ndarray:
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim == 3:
+        return luminance(image)
+    return image
+
+
+def gradient_energy(image: np.ndarray) -> float:
+    """Mean squared first-difference gradient magnitude.
+
+    Sharp barcode images have strong block-edge gradients; blur attenuates
+    them, so higher is sharper.  This is the blur-assessment score used to
+    rank repeated captures of the same frame.
+    """
+    gray = _intensity(image)
+    gx = np.diff(gray, axis=1)
+    gy = np.diff(gray, axis=0)
+    return float(np.mean(gx**2) + np.mean(gy**2))
+
+
+def laplacian_variance(image: np.ndarray) -> float:
+    """Variance of the 4-neighbour Laplacian — an alternative sharpness score."""
+    gray = _intensity(image)
+    lap = (
+        -4.0 * gray[1:-1, 1:-1]
+        + gray[:-2, 1:-1]
+        + gray[2:, 1:-1]
+        + gray[1:-1, :-2]
+        + gray[1:-1, 2:]
+    )
+    return float(np.var(lap))
+
+
+def psnr(reference: np.ndarray, test: np.ndarray) -> float:
+    """Peak signal-to-noise ratio in dB for images in ``[0, 1]``."""
+    reference = np.asarray(reference, dtype=np.float64)
+    test = np.asarray(test, dtype=np.float64)
+    if reference.shape != test.shape:
+        raise ValueError("psnr requires equal shapes")
+    mse = float(np.mean((reference - test) ** 2))
+    if mse == 0:
+        return float("inf")
+    return 10.0 * np.log10(1.0 / mse)
+
+
+def mean_abs_error(reference: np.ndarray, test: np.ndarray) -> float:
+    """Mean absolute pixel error for images in ``[0, 1]``."""
+    reference = np.asarray(reference, dtype=np.float64)
+    test = np.asarray(test, dtype=np.float64)
+    if reference.shape != test.shape:
+        raise ValueError("mean_abs_error requires equal shapes")
+    return float(np.mean(np.abs(reference - test)))

@@ -1,0 +1,85 @@
+"""Sensor and environment noise models.
+
+The channel simulator degrades rendered frames with the photometric
+effects the paper's evaluation sweeps: sensor read noise, photon shot
+noise, ambient light (indoor vs outdoor), and illumination/brightness
+scaling.  All generators take an explicit :class:`numpy.random.Generator`
+so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "add_gaussian_noise",
+    "add_shot_noise",
+    "add_ambient_light",
+    "scale_brightness",
+    "vignette",
+]
+
+
+def add_gaussian_noise(
+    image: np.ndarray, sigma: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Additive zero-mean Gaussian read noise with std *sigma* (in [0,1] units)."""
+    image = np.asarray(image, dtype=np.float64)
+    if sigma <= 0:
+        return image.copy()
+    return np.clip(image + rng.normal(0.0, sigma, size=image.shape), 0.0, 1.0)
+
+
+def add_shot_noise(
+    image: np.ndarray, photons_at_white: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Poisson shot noise with *photons_at_white* photons at full scale.
+
+    Lower photon counts (dim screens, short exposures) give relatively
+    noisier images — the mechanism behind the brightness sweep in
+    Fig. 10(d).
+    """
+    image = np.asarray(image, dtype=np.float64)
+    if photons_at_white <= 0:
+        return image.copy()
+    rate = np.clip(image, 0.0, 1.0) * photons_at_white
+    if photons_at_white >= 100:
+        # Gaussian approximation of Poisson (lambda > ~10 everywhere that
+        # matters): same mean/variance, ~4x faster than rng.poisson.
+        photons = rate + rng.standard_normal(image.shape) * np.sqrt(rate)
+    else:
+        photons = rng.poisson(rate)
+    return np.clip(photons / photons_at_white, 0.0, 1.0)
+
+
+def add_ambient_light(image: np.ndarray, ambient: float) -> np.ndarray:
+    """Mix ambient light into the scene: ``out = image (1 - a) + a``.
+
+    Outdoor captures wash toward white, compressing contrast — the paper
+    notes outdoor error rates are much higher than indoor ones.
+    """
+    image = np.asarray(image, dtype=np.float64)
+    ambient = float(np.clip(ambient, 0.0, 1.0))
+    return image * (1.0 - ambient) + ambient
+
+
+def scale_brightness(image: np.ndarray, factor: float) -> np.ndarray:
+    """Scale intensities by *factor* (the screen-brightness setting s_b)."""
+    return np.clip(np.asarray(image, dtype=np.float64) * factor, 0.0, 1.0)
+
+
+def vignette(image: np.ndarray, strength: float = 0.2) -> np.ndarray:
+    """Radial illumination falloff toward image corners.
+
+    Models the non-uniform brightness across a captured screen, which is
+    why the paper estimates T_v from samples spread over four quadrants.
+    """
+    image = np.asarray(image, dtype=np.float64)
+    height, width = image.shape[:2]
+    ys, xs = np.mgrid[0:height, 0:width].astype(np.float64)
+    cx, cy = (width - 1) / 2.0, (height - 1) / 2.0
+    r = np.sqrt(((xs - cx) / max(cx, 1)) ** 2 + ((ys - cy) / max(cy, 1)) ** 2)
+    falloff = 1.0 - strength * np.clip(r / np.sqrt(2.0), 0.0, 1.0) ** 2
+    if image.ndim == 3:
+        falloff = falloff[..., np.newaxis]
+    return np.clip(image * falloff, 0.0, 1.0)

@@ -1,0 +1,149 @@
+"""Camera color-pipeline effects: the degradations between photons and
+the frames a decoder actually reads.
+
+The paper's receiver records the barcode stream as *video* and decodes
+the recorded frames (the "buffered decoding mode", Section IV).  Between
+the sensor and that video sit a Bayer demosaic and 4:2:0 chroma
+subsampling — both smear **color** (not luma) across ~2 pixels, which is
+precisely what limits small color blocks in practice.  A white-balance
+error adds a global channel-gain tilt.
+
+These operate in YCbCr space (BT.601), reusing the luma weights of
+:func:`repro.imaging.color.luminance`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .filters import gaussian_blur
+
+__all__ = [
+    "rgb_to_ycbcr",
+    "ycbcr_to_rgb",
+    "chroma_subsample",
+    "white_balance_shift",
+    "quantize_8bit",
+    "CameraPipeline",
+]
+
+_KR, _KG, _KB = 0.299, 0.587, 0.114
+
+
+def rgb_to_ycbcr(rgb: np.ndarray) -> np.ndarray:
+    """BT.601 full-range RGB -> YCbCr (Y in [0,1], Cb/Cr in [-0.5, 0.5])."""
+    rgb = np.asarray(rgb, dtype=np.float64)
+    y = _KR * rgb[..., 0] + _KG * rgb[..., 1] + _KB * rgb[..., 2]
+    cb = (rgb[..., 2] - y) / (2.0 * (1.0 - _KB))
+    cr = (rgb[..., 0] - y) / (2.0 * (1.0 - _KR))
+    return np.stack([y, cb, cr], axis=-1)
+
+
+def ycbcr_to_rgb(ycc: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`rgb_to_ycbcr` (exact up to rounding)."""
+    ycc = np.asarray(ycc, dtype=np.float64)
+    y, cb, cr = ycc[..., 0], ycc[..., 1], ycc[..., 2]
+    r = y + 2.0 * (1.0 - _KR) * cr
+    b = y + 2.0 * (1.0 - _KB) * cb
+    g = (y - _KR * r - _KB * b) / _KG
+    return np.clip(np.stack([r, g, b], axis=-1), 0.0, 1.0)
+
+
+def chroma_subsample(image: np.ndarray, factor: int = 2, chroma_blur: float = 0.7) -> np.ndarray:
+    """4:2:0-style chroma subsampling: blur + down/upsample Cb and Cr.
+
+    Luma passes through untouched; chroma is low-passed, decimated by
+    *factor* and bilinearly restored — the same information loss a
+    recorded H.264 stream (or a Bayer demosaic) imposes on block colors.
+    """
+    if factor < 1:
+        raise ValueError("factor must be >= 1")
+    image = np.asarray(image, dtype=np.float64)
+    ycc = rgb_to_ycbcr(image)
+    if factor == 1 and chroma_blur <= 0:
+        return ycbcr_to_rgb(ycc)
+    chroma = ycc[..., 1:]
+    if factor > 1:
+        # Box-average decimation (the anti-alias filter), then any extra
+        # blur on the *small* plane where it is `factor^2` times cheaper.
+        height, width = chroma.shape[:2]
+        h2, w2 = height // factor * factor, width // factor * factor
+        sub = (
+            chroma[:h2, :w2]
+            .reshape(h2 // factor, factor, w2 // factor, factor, 2)
+            .mean(axis=(1, 3))
+        )
+        if chroma_blur > 0:
+            sub = gaussian_blur(sub, chroma_blur / factor)
+        chroma = _bilinear_upsample(sub, image.shape[:2], factor)
+    elif chroma_blur > 0:
+        chroma = gaussian_blur(chroma, chroma_blur)
+    out = np.concatenate([ycc[..., :1], chroma], axis=-1)
+    return ycbcr_to_rgb(out)
+
+
+def _bilinear_upsample(small: np.ndarray, shape: tuple[int, int], factor: int) -> np.ndarray:
+    """Restore a decimated plane to *shape* with bilinear interpolation.
+
+    A decimated sample i covers full-resolution pixels
+    ``[i*factor, (i+1)*factor)`` and is centered at
+    ``i*factor + (factor-1)/2``, so full pixel p maps to small
+    coordinate ``(p - (factor-1)/2) / factor``.  Coordinates clamp to
+    the small grid so edges replicate instead of reading fill values.
+    """
+    from .interpolation import sample_bilinear
+
+    height, width = shape
+    ys, xs = np.mgrid[0:height, 0:width].astype(np.float64)
+    offset = (factor - 1) / 2.0
+    xs = np.clip((xs - offset) / factor, 0.0, small.shape[1] - 1.0)
+    ys = np.clip((ys - offset) / factor, 0.0, small.shape[0] - 1.0)
+    return sample_bilinear(small, xs, ys)
+
+
+def white_balance_shift(image: np.ndarray, gains: tuple[float, float, float]) -> np.ndarray:
+    """Per-channel gain error (auto-white-balance mis-estimation)."""
+    image = np.asarray(image, dtype=np.float64)
+    return np.clip(image * np.asarray(gains, dtype=np.float64), 0.0, 1.0)
+
+
+def quantize_8bit(image: np.ndarray) -> np.ndarray:
+    """Round to 8-bit levels — the recorded video's sample depth."""
+    image = np.asarray(image, dtype=np.float64)
+    return np.round(np.clip(image, 0.0, 1.0) * 255.0) / 255.0
+
+
+class CameraPipeline:
+    """The color-processing chain applied to every capture.
+
+    Parameters mirror a mid-2010s phone camera recording video:
+    ``chroma_factor=2`` (4:2:0), ``chroma_blur`` around 0.7 px, and a
+    white-balance gain error of a few percent re-sampled per session.
+    """
+
+    def __init__(
+        self,
+        chroma_factor: int = 2,
+        chroma_blur: float = 0.7,
+        wb_error: float = 0.04,
+        quantize: bool = True,
+    ):
+        self.chroma_factor = chroma_factor
+        self.chroma_blur = chroma_blur
+        self.wb_error = wb_error
+        self.quantize = quantize
+
+    def sample_gains(self, rng: np.random.Generator) -> tuple[float, float, float]:
+        """Draw this session's white-balance gain error."""
+        if self.wb_error <= 0:
+            return (1.0, 1.0, 1.0)
+        gains = 1.0 + rng.uniform(-self.wb_error, self.wb_error, size=3)
+        return (float(gains[0]), float(gains[1]), float(gains[2]))
+
+    def apply(self, image: np.ndarray, gains: tuple[float, float, float]) -> np.ndarray:
+        """Run the pipeline on one capture."""
+        out = white_balance_shift(image, gains)
+        out = chroma_subsample(out, self.chroma_factor, self.chroma_blur)
+        if self.quantize:
+            out = quantize_8bit(out)
+        return out

@@ -1,0 +1,35 @@
+"""Application/session layer: classification, adaptation, transfer."""
+
+from .adaptive import AdaptiveConfigurator, BlockSizeDecision
+from .classification import ApplicationType, RecoveryError, preprocess, recover
+from .reassembly import PayloadAssembler
+from .receiver_modes import BufferedReceiver, RealTimeReceiver, ReceiverReport
+from .session import FeedbackChannel, SessionStats, TransferSession
+from .transfer import (
+    FileTransfer,
+    FileTransferResult,
+    TransferError,
+    unwrap_payload,
+    wrap_payload,
+)
+
+__all__ = [
+    "ApplicationType",
+    "preprocess",
+    "recover",
+    "RecoveryError",
+    "AdaptiveConfigurator",
+    "BlockSizeDecision",
+    "PayloadAssembler",
+    "BufferedReceiver",
+    "RealTimeReceiver",
+    "ReceiverReport",
+    "FeedbackChannel",
+    "SessionStats",
+    "TransferSession",
+    "FileTransfer",
+    "FileTransferResult",
+    "TransferError",
+    "wrap_payload",
+    "unwrap_payload",
+]

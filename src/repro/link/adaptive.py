@@ -1,0 +1,95 @@
+"""Accelerometer-driven adaptive configuration (Section III-A).
+
+RainBar adopts COBRA's accelerometer + adaptive-configuration
+components, with one fix the paper calls out: the block size must be
+chosen **before** data mapping, "otherwise we cannot decide how much
+data should be put in each color barcode frame".
+
+:class:`AdaptiveConfigurator` maps a window of accelerometer magnitudes
+to a block size between B_min and B_max: the shakier the devices, the
+larger (and fewer) the blocks, trading capacity for robustness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.layout import FrameLayout
+
+__all__ = ["AdaptiveConfigurator", "BlockSizeDecision"]
+
+
+@dataclass(frozen=True)
+class BlockSizeDecision:
+    """Outcome of one adaptation step."""
+
+    block_px: int
+    mobility_score: float  # mean accelerometer magnitude of the window
+    layout: FrameLayout
+
+
+class AdaptiveConfigurator:
+    """Chooses the block size from recent accelerometer readings.
+
+    Parameters
+    ----------
+    screen_px:
+        Fixed physical screen size ``(height, width)``; the grid is
+        resized to fill it at the chosen block size, so larger blocks
+        really do cost per-frame capacity.
+    min_block_px, max_block_px:
+        The paper's B_min and B_max bounds, shared with the receiver so
+        locator search windows stay valid.
+    low_threshold, high_threshold:
+        Mean-magnitude thresholds (m/s^2 above gravity) bounding the
+        linear interpolation between B_min and B_max.
+    """
+
+    def __init__(
+        self,
+        screen_px: tuple[int, int] = (408, 720),
+        min_block_px: int = 8,
+        max_block_px: int = 16,
+        low_threshold: float = 0.5,
+        high_threshold: float = 4.0,
+    ):
+        if min_block_px > max_block_px:
+            raise ValueError("min_block_px must not exceed max_block_px")
+        if low_threshold >= high_threshold:
+            raise ValueError("low_threshold must be below high_threshold")
+        if screen_px[1] < 44 * max_block_px:
+            raise ValueError(
+                "screen too narrow: the header needs at least 44 block columns "
+                "at the largest block size"
+            )
+        self.screen_px = screen_px
+        self.min_block_px = min_block_px
+        self.max_block_px = max_block_px
+        self.low_threshold = low_threshold
+        self.high_threshold = high_threshold
+
+    def decide(self, accelerometer_window: np.ndarray) -> BlockSizeDecision:
+        """Pick the block size for the *next* stream segment.
+
+        The decision happens before data mapping: the returned layout's
+        capacity determines how the payload is segmented into frames.
+        """
+        window = np.asarray(accelerometer_window, dtype=np.float64)
+        if window.size == 0:
+            raise ValueError("accelerometer window is empty")
+        score = float(np.mean(np.abs(window)))
+        t = np.clip(
+            (score - self.low_threshold) / (self.high_threshold - self.low_threshold),
+            0.0,
+            1.0,
+        )
+        block = int(round(self.min_block_px + t * (self.max_block_px - self.min_block_px)))
+        height, width = self.screen_px
+        layout = FrameLayout(
+            grid_rows=max(height // block, 10),
+            grid_cols=max(width // block, 44),
+            block_px=block,
+        )
+        return BlockSizeDecision(block_px=block, mobility_score=score, layout=layout)

@@ -1,0 +1,69 @@
+"""Payload reassembly from decoded frames.
+
+Collects :class:`~repro.core.decoder.FrameResult` objects (possibly out
+of order, possibly duplicated by retransmissions), tracks which
+sequence numbers are still missing, and concatenates the payload once
+complete.  The last-frame flag (MSB of the sequence word) delimits the
+stream, exactly as the paper uses it.
+"""
+
+from __future__ import annotations
+
+from ..core.decoder import FrameResult
+
+__all__ = ["PayloadAssembler"]
+
+
+class PayloadAssembler:
+    """Orders and joins per-frame payloads."""
+
+    def __init__(self) -> None:
+        self._payloads: dict[int, bytes] = {}
+        self._last_sequence: int | None = None
+
+    def add(self, result: FrameResult) -> None:
+        """Fold in one decoded frame; failed results are ignored."""
+        if not result.ok:
+            return
+        self._payloads.setdefault(result.sequence, result.payload)
+        if result.is_last:
+            self._last_sequence = result.sequence
+
+    def add_all(self, results: list[FrameResult]) -> None:
+        for result in results:
+            self.add(result)
+
+    @property
+    def expected_count(self) -> int | None:
+        """Total frames in the stream, if the last frame has been seen."""
+        return None if self._last_sequence is None else self._last_sequence + 1
+
+    def missing(self) -> list[int]:
+        """Sequence numbers still required.
+
+        Before the last frame is seen, only gaps below the highest
+        received sequence can be reported.
+        """
+        if self._last_sequence is not None:
+            upper = self._last_sequence
+        elif self._payloads:
+            upper = max(self._payloads)
+        else:
+            return []
+        return [seq for seq in range(upper + 1) if seq not in self._payloads]
+
+    @property
+    def complete(self) -> bool:
+        """True when every frame up to the last one has arrived."""
+        return self._last_sequence is not None and not self.missing()
+
+    def payload(self) -> bytes:
+        """The reassembled byte stream (requires :attr:`complete`)."""
+        if not self.complete:
+            raise ValueError(f"stream incomplete; missing {self.missing()}")
+        assert self._last_sequence is not None
+        return b"".join(self._payloads[seq] for seq in range(self._last_sequence + 1))
+
+    @property
+    def received_count(self) -> int:
+        return len(self._payloads)

@@ -1,0 +1,143 @@
+"""Real-time vs buffered decoding modes (Section IV).
+
+The paper's receiver app offers two modes:
+
+* **buffered** — record the captures (as video) and decode afterwards;
+  every capture is processed.  All throughput/decoding-rate experiments
+  run in this mode.
+* **real-time** — decode while capturing, one thread filming and one
+  decoding; a capture is *dropped* if the decoder is still busy when it
+  arrives.  On the paper's phone, decode took ~80 ms, capping real-time
+  operation near 12 fps.
+
+:class:`RealTimeReceiver` reproduces the real-time constraint with a
+simulated clock: each capture carries its arrival time, each decode
+charges a configurable (or measured) processing time, and captures that
+arrive while the decoder is busy are counted as dropped.  This exposes
+the trade-off the paper discusses: raising the display rate beyond the
+decode budget stops helping in real-time mode even though buffered mode
+keeps gaining.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.decoder import DecodeError, FrameDecoder, FrameResult
+from ..core.sync import StreamReassembler
+
+__all__ = ["ReceiverReport", "BufferedReceiver", "RealTimeReceiver"]
+
+
+@dataclass
+class ReceiverReport:
+    """Accounting common to both receiver modes."""
+
+    captures_seen: int = 0
+    captures_decoded: int = 0
+    captures_dropped_busy: int = 0
+    captures_dropped_error: int = 0
+    decode_time_total_s: float = 0.0
+    results: list[FrameResult] = field(default_factory=list)
+
+    @property
+    def mean_decode_time_s(self) -> float:
+        if self.captures_decoded == 0:
+            return 0.0
+        return self.decode_time_total_s / self.captures_decoded
+
+    @property
+    def frames_ok(self) -> int:
+        return sum(1 for r in self.results if r.ok)
+
+
+class BufferedReceiver:
+    """Decode every capture after the fact (the evaluation mode)."""
+
+    def __init__(self, decoder: FrameDecoder):
+        self.decoder = decoder
+        self.reassembler = StreamReassembler(decoder.config)
+        self.report = ReceiverReport()
+
+    def process(self, captures) -> ReceiverReport:
+        """Decode a full list of ``Capture`` objects."""
+        for capture in captures:
+            self.report.captures_seen += 1
+            started = time.perf_counter()
+            try:
+                extraction = self.decoder.extract(capture.image)
+            except DecodeError:
+                self.report.captures_dropped_error += 1
+                continue
+            finally:
+                self.report.decode_time_total_s += time.perf_counter() - started
+            self.report.captures_decoded += 1
+            self.report.results.extend(self.reassembler.add_capture(extraction))
+        self.report.results.extend(self.reassembler.flush())
+        return self.report
+
+
+class RealTimeReceiver:
+    """Decode concurrently with capture; drop captures when busy.
+
+    ``decode_budget_s`` fixes the simulated per-capture decode time; by
+    default the *measured* wall-clock time of each decode is used, which
+    makes the mode faithful on whatever machine runs it.  A
+    ``speed_factor`` above 1 models a faster decoder (e.g. the paper's
+    four-thread variant).
+    """
+
+    def __init__(
+        self,
+        decoder: FrameDecoder,
+        decode_budget_s: float | None = None,
+        speed_factor: float = 1.0,
+    ):
+        if speed_factor <= 0:
+            raise ValueError("speed_factor must be positive")
+        self.decoder = decoder
+        self.decode_budget_s = decode_budget_s
+        self.speed_factor = speed_factor
+        self.reassembler = StreamReassembler(decoder.config)
+        self.report = ReceiverReport()
+
+    def process(self, captures) -> ReceiverReport:
+        """Run the capture stream against the simulated decode clock."""
+        busy_until = -np.inf
+        for capture in captures:
+            self.report.captures_seen += 1
+            if capture.time < busy_until:
+                self.report.captures_dropped_busy += 1
+                continue
+            started = time.perf_counter()
+            try:
+                extraction = self.decoder.extract(capture.image)
+            except DecodeError:
+                elapsed = time.perf_counter() - started
+                cost = self._cost(elapsed)
+                self.report.decode_time_total_s += cost
+                busy_until = capture.time + cost
+                self.report.captures_dropped_error += 1
+                continue
+            elapsed = time.perf_counter() - started
+            cost = self._cost(elapsed)
+            self.report.decode_time_total_s += cost
+            busy_until = capture.time + cost
+            self.report.captures_decoded += 1
+            self.report.results.extend(self.reassembler.add_capture(extraction))
+        self.report.results.extend(self.reassembler.flush())
+        return self.report
+
+    def _cost(self, measured_s: float) -> float:
+        base = self.decode_budget_s if self.decode_budget_s is not None else measured_s
+        return base / self.speed_factor
+
+    def max_sustainable_rate(self) -> float:
+        """Display rate the decoder can keep up with (1 / decode time)."""
+        mean = self.report.mean_decode_time_s
+        if mean <= 0:
+            return float("inf")
+        return 1.0 / mean

@@ -1,0 +1,159 @@
+"""Feedback-driven transmission sessions (Sections III-A and V).
+
+RainBar retransmits failed frames: the receiver CRC-checks every decoded
+frame and NACKs the sequence numbers it could not recover; the sender
+re-displays exactly those frames in the next round.  This is the
+throughput/goodput trade RainBar makes *instead of* RDCode's
+always-on tri-level redundancy.
+
+:class:`TransferSession` runs the whole loop against the simulated
+channel: encode -> display -> capture -> decode -> NACK -> retransmit,
+and reports the timing/goodput accounting every benchmark consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..channel.link import LinkConfig, ScreenCameraLink
+from ..channel.screen import FrameSchedule
+from ..core.decoder import DecodeError, FrameDecoder
+from ..core.encoder import FrameCodecConfig, FrameEncoder
+from ..core.sync import StreamReassembler
+from .reassembly import PayloadAssembler
+
+__all__ = ["FeedbackChannel", "SessionStats", "TransferSession"]
+
+
+@dataclass
+class FeedbackChannel:
+    """The receiver-to-sender NACK path.
+
+    The paper leaves the feedback transport unspecified; by default it
+    is ideal.  ``loss_probability`` drops whole NACK lists (the sender
+    then assumes everything it sent arrived, and the receiver re-NACKs
+    next round), letting experiments probe feedback robustness.
+    """
+
+    loss_probability: float = 0.0
+    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0xFEED))
+
+    def deliver(self, nacks: list[int]) -> list[int] | None:
+        """NACK list as seen by the sender (None = feedback lost)."""
+        if self.loss_probability > 0 and self.rng.random() < self.loss_probability:
+            return None
+        return list(nacks)
+
+
+@dataclass
+class SessionStats:
+    """Accounting of one transfer session."""
+
+    delivered: bool = False
+    rounds: int = 0
+    frames_total: int = 0
+    frames_sent: int = 0  # including retransmissions
+    captures: int = 0
+    captures_dropped: int = 0
+    display_time_s: float = 0.0
+    payload_bytes: int = 0
+
+    @property
+    def goodput_bps(self) -> float:
+        """Delivered payload bits per second of display time."""
+        if self.display_time_s <= 0 or not self.delivered:
+            return 0.0
+        return 8.0 * self.payload_bytes / self.display_time_s
+
+    @property
+    def retransmission_overhead(self) -> float:
+        """Extra frames sent relative to the minimum."""
+        if self.frames_total == 0:
+            return 0.0
+        return self.frames_sent / self.frames_total - 1.0
+
+
+class TransferSession:
+    """One sender, one receiver, one payload, as many rounds as needed."""
+
+    def __init__(
+        self,
+        codec_config: FrameCodecConfig,
+        link_config: LinkConfig | None = None,
+        feedback: FeedbackChannel | None = None,
+        rng: np.random.Generator | None = None,
+        decoder_kwargs: dict | None = None,
+    ):
+        self.codec_config = codec_config
+        self.link_config = link_config or LinkConfig()
+        self.feedback = feedback or FeedbackChannel()
+        self.rng = rng or np.random.default_rng(0x5E55)
+        self.encoder = FrameEncoder(codec_config)
+        self.decoder = FrameDecoder(codec_config, **(decoder_kwargs or {}))
+
+    def transmit(self, payload: bytes, max_rounds: int = 5) -> tuple[bytes | None, SessionStats]:
+        """Send *payload*; returns ``(payload_or_None, stats)``.
+
+        Each round displays the outstanding frames once and decodes the
+        captures; undecoded frames carry into the next round.  Delivery
+        fails (None) when frames remain after *max_rounds*.
+        """
+        frames = self.encoder.encode_stream(payload)
+        stats = SessionStats(frames_total=len(frames), payload_bytes=len(payload))
+        assembler = PayloadAssembler()
+        outstanding = list(range(len(frames)))
+
+        for __ in range(max_rounds):
+            if not outstanding:
+                break
+            stats.rounds += 1
+            stats.frames_sent += len(outstanding)
+            self._run_round([frames[i] for i in outstanding], assembler, stats)
+
+            nacks = [seq for seq in outstanding if seq in set(assembler.missing())]
+            # Frames decoded this round leave the outstanding set even if
+            # the NACK list is lost (the sender would then resend them,
+            # modeled by keeping outstanding unchanged).
+            delivered_view = self.feedback.deliver(nacks)
+            if delivered_view is None:
+                continue  # feedback lost: sender repeats the same set
+            outstanding = delivered_view
+
+        if assembler.complete:
+            stats.delivered = True
+            return assembler.payload()[: len(payload)], stats
+        return None, stats
+
+    def _run_round(self, frames, assembler: PayloadAssembler, stats: SessionStats) -> None:
+        images = [f.render() for f in frames]
+        schedule = FrameSchedule(
+            images,
+            display_rate=self.codec_config.display_rate,
+            brightness=self.link_config_brightness(),
+        )
+        link = ScreenCameraLink(self.link_config, rng=self.rng)
+        reassembler = StreamReassembler(self.codec_config)
+
+        # Sequence numbers inside a retransmission round are not
+        # contiguous, so rolling-shutter row routing (seq+1) may misfile
+        # rows; those frames simply fail their CRC and are re-NACKed —
+        # matching how a real receiver behaves when the display order
+        # deviates from the sequence order.
+        results = []
+        for capture in link.capture_stream(schedule):
+            stats.captures += 1
+            try:
+                extraction = self.decoder.extract(capture.image)
+            except DecodeError:
+                stats.captures_dropped += 1
+                continue
+            results.extend(reassembler.add_capture(extraction))
+        results.extend(reassembler.flush())
+        assembler.add_all(results)
+        stats.display_time_s += schedule.duration
+
+    def link_config_brightness(self) -> float:
+        """Screen brightness for this session (hook for sweeps)."""
+        return 1.0

@@ -1,0 +1,95 @@
+"""COBRA's TRB walking and line-intersection localization accuracy."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cobra import CobraConfig, CobraDecoder, CobraEncoder, CobraLayout
+from repro.core.brightness import estimate_black_threshold
+from repro.core.recognition import ColorClassifier
+from repro.imaging.geometry import PinholeSetup, apply_homography, warp_perspective
+
+
+@pytest.fixture(scope="module")
+def setup():
+    cfg = CobraConfig(layout=CobraLayout(34, 60, 12), display_rate=10)
+    frame = CobraEncoder(cfg).encode_frame(b"geometry", sequence=0)
+    return cfg, frame, frame.render()
+
+
+def project(image, angle):
+    pin = PinholeSetup(
+        screen_size_px=image.shape[:2], sensor_size_px=(480, 800), view_angle_deg=angle
+    )
+    h = pin.homography()
+    return warp_perspective(image, h, (480, 800), fill=0.1), h
+
+
+def cell_truth(layout, h, cells, pad):
+    pts = np.array(
+        [(x + pad, y + pad) for x, y in (layout.cell_center_px(r, c) for r, c in cells)]
+    )
+    return apply_homography(h, pts)
+
+
+class TestBorderWalks:
+    @pytest.mark.parametrize("angle", [0.0, 8.0])
+    def test_trb_anchor_accuracy(self, setup, angle):
+        cfg, frame, image = setup
+        captured, h = project(image, angle)
+        est = estimate_black_threshold(captured)
+        cls = ColorClassifier(t_value=est.t_value)
+        dec = CobraDecoder(cfg)
+        corners = dec._detect_corners(captured, cls)
+        anchors = dec._walk_borders(captured, cls, corners)
+        pad = cfg.layout.block_px
+        for border, positions in anchors.items():
+            cells = cfg.layout.trb_cells[border]
+            truth = cell_truth(cfg.layout, h, cells, pad)
+            err = np.linalg.norm(positions - truth, axis=1)
+            assert err.max() < 1.0, f"{border} at {angle} deg: {err.max():.2f}px"
+
+
+class TestLineIntersectionDrift:
+    def test_frontal_exact(self, setup):
+        cfg, frame, image = setup
+        captured, h = project(image, 0.0)
+        est = estimate_black_threshold(captured)
+        cls = ColorClassifier(t_value=est.t_value)
+        dec = CobraDecoder(cfg)
+        corners = dec._detect_corners(captured, cls)
+        anchors = dec._walk_borders(captured, cls, corners)
+        cells = cfg.layout.data_cells
+        centers = dec._cell_centers(cells, anchors)
+        truth = cell_truth(cfg.layout, h, cells, cfg.layout.block_px)
+        assert np.linalg.norm(centers - truth, axis=1).max() < 1.0
+
+    def test_failure_mode_is_catastrophic_not_gradual(self, setup):
+        """COBRA's weakness under perspective, quantified.
+
+        Line-intersection localization is projectively exact *when the
+        border anchors are right* (straight lines map to straight lines
+        under a homography), so interior error stays sub-pixel through
+        moderate angles.  What breaks is the border TRB *walk*: under
+        strong foreshortening the dead-reckoned step mismatches the
+        compressed TRB spacing and the walk derails, taking every
+        interior estimate with it — which is why COBRA's decode rate
+        cliffs around 20 deg (bench E2) instead of degrading smoothly
+        like RainBar's interior, locally-corrected locators.
+        """
+        cfg, frame, image = setup
+
+        def max_err(angle):
+            captured, h = project(image, angle)
+            est = estimate_black_threshold(captured)
+            cls = ColorClassifier(t_value=est.t_value)
+            dec = CobraDecoder(cfg)
+            corners = dec._detect_corners(captured, cls)
+            anchors = dec._walk_borders(captured, cls, corners)
+            cells = cfg.layout.data_cells
+            centers = dec._cell_centers(cells, anchors)
+            truth = cell_truth(cfg.layout, h, cells, cfg.layout.block_px)
+            return float(np.linalg.norm(centers - truth, axis=1).max())
+
+        assert max_err(0.0) < 1.0
+        assert max_err(16.0) < 1.0
+        assert max_err(24.0) > 50.0  # derailed walk: localization is gone

@@ -1,0 +1,109 @@
+"""Screen schedule and rolling-shutter camera composition."""
+
+import numpy as np
+import pytest
+
+from repro.channel.camera import CameraTiming, compose_rolling_shutter
+from repro.channel.screen import FrameSchedule
+
+
+def solid(value, shape=(40, 60, 3)):
+    return np.full(shape, value, dtype=np.float64)
+
+
+class TestFrameSchedule:
+    def test_timing(self):
+        sched = FrameSchedule([solid(0.1), solid(0.2), solid(0.3)], display_rate=10)
+        assert sched.frame_period == pytest.approx(0.1)
+        assert sched.duration == pytest.approx(0.3)
+        assert sched.frame_index_at(0.05) == 0
+        assert sched.frame_index_at(0.15) == 1
+        assert sched.frame_index_at(0.25) == 2
+
+    def test_index_clamped(self):
+        sched = FrameSchedule([solid(0.5)], display_rate=10)
+        assert sched.frame_index_at(-1.0) == 0
+        assert sched.frame_index_at(99.0) == 0
+
+    def test_brightness_applied_on_emission(self):
+        sched = FrameSchedule([solid(1.0)], display_rate=10, brightness=0.4)
+        assert np.allclose(sched.emitted_image(0), 0.4)
+
+    def test_switch_times(self):
+        sched = FrameSchedule([solid(0)] * 4, display_rate=20)
+        assert np.allclose(sched.switch_times(), [0.05, 0.10, 0.15])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FrameSchedule([], display_rate=10)
+        with pytest.raises(ValueError):
+            FrameSchedule([solid(0)], display_rate=0)
+        with pytest.raises(ValueError):
+            FrameSchedule([solid(0)], display_rate=10, brightness=0.0)
+        with pytest.raises(ValueError):
+            FrameSchedule([solid(0, (4, 4, 3)), solid(0, (5, 5, 3))], display_rate=10)
+
+
+class TestCameraTiming:
+    def test_line_times_span_readout(self):
+        timing = CameraTiming(capture_rate=30, readout_fraction=0.9)
+        times = timing.line_times(100, start_time=1.0)
+        assert times[0] == pytest.approx(1.0)
+        assert times[-1] == pytest.approx(1.0 + 0.9 / 30)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CameraTiming(capture_rate=0)
+        with pytest.raises(ValueError):
+            CameraTiming(readout_fraction=1.5)
+        with pytest.raises(ValueError):
+            CameraTiming(exposure_s=-1)
+
+
+class TestRollingShutter:
+    def test_clean_capture_single_frame(self):
+        sched = FrameSchedule([solid(0.2), solid(0.8)], display_rate=10)
+        timing = CameraTiming(capture_rate=30, readout_fraction=0.9, exposure_s=0.0)
+        # Readout 0.00-0.03 s sits entirely inside frame 0 (0.0-0.1 s).
+        out = compose_rolling_shutter(sched, timing, start_time=0.0)
+        assert np.allclose(out, 0.2)
+
+    def test_mixed_capture_splits_rows(self):
+        sched = FrameSchedule([solid(0.2), solid(0.8)], display_rate=10)
+        timing = CameraTiming(capture_rate=10, readout_fraction=1.0, exposure_s=0.0)
+        # Readout 0.05-0.15 s: the display switches at t = 0.1 s, i.e.
+        # halfway down the sensor -> top half frame 0, bottom half frame 1.
+        out = compose_rolling_shutter(sched, timing, start_time=0.05)
+        height = out.shape[0]
+        assert np.allclose(out[: height // 2 - 1], 0.2)
+        assert np.allclose(out[height // 2 + 1 :], 0.8)
+
+    def test_split_row_position_tracks_start_time(self):
+        sched = FrameSchedule([solid(0.0), solid(1.0)], display_rate=10)
+        timing = CameraTiming(capture_rate=10, readout_fraction=1.0, exposure_s=0.0)
+
+        def split_row(start):
+            out = compose_rolling_shutter(sched, timing, start_time=start)
+            return int(np.argmax(out[:, 0, 0] > 0.5))
+
+        # Starting later moves the switch earlier in the readout.
+        assert split_row(0.02) > split_row(0.08)
+
+    def test_exposure_blends_boundary_rows(self):
+        sched = FrameSchedule([solid(0.0), solid(1.0)], display_rate=10)
+        timing = CameraTiming(capture_rate=10, readout_fraction=1.0, exposure_s=0.02)
+        out = compose_rolling_shutter(sched, timing, start_time=0.05)
+        column = out[:, 0, 0]
+        blended = (column > 0.05) & (column < 0.95)
+        assert blended.any()  # a band of mixed rows exists
+        # And the blend is monotone down the boundary.
+        band = column[blended]
+        assert np.all(np.diff(band) >= -1e-9)
+
+    def test_three_frame_span(self):
+        # Very slow readout across three display frames.
+        sched = FrameSchedule([solid(0.1), solid(0.5), solid(0.9)], display_rate=30)
+        timing = CameraTiming(capture_rate=10, readout_fraction=1.0, exposure_s=0.0)
+        out = compose_rolling_shutter(sched, timing, start_time=0.0)
+        values = {round(float(v), 1) for v in np.unique(out)}
+        assert values == {0.1, 0.5, 0.9}

@@ -1,0 +1,61 @@
+"""CRC-8 / CRC-16 vectors and error-detection behaviour."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.coding.crc import Crc8, Crc16, crc8, crc16
+
+
+class TestKnownVectors:
+    def test_crc8_check_string(self):
+        # CRC-8 (poly 0x07, init 0x00) of "123456789" is 0xF4.
+        assert crc8(b"123456789") == 0xF4
+
+    def test_crc16_ccitt_false_check_string(self):
+        # CRC-16/CCITT-FALSE of "123456789" is 0x29B1.
+        assert crc16(b"123456789") == 0x29B1
+
+    def test_empty_input(self):
+        assert crc8(b"") == 0x00
+        assert crc16(b"") == 0xFFFF
+
+
+class TestErrorDetection:
+    @given(st.binary(min_size=1, max_size=64), st.integers(0, 7))
+    def test_crc8_detects_single_bit_flip(self, data, bit):
+        flipped = bytearray(data)
+        flipped[0] ^= 1 << bit
+        assert crc8(bytes(flipped)) != crc8(data)
+
+    @given(st.binary(min_size=2, max_size=64), st.integers(0, 15))
+    def test_crc16_detects_single_bit_flip(self, data, bit):
+        flipped = bytearray(data)
+        flipped[bit // 8 % len(data)] ^= 1 << (bit % 8)
+        assert crc16(bytes(flipped)) != crc16(data)
+
+    @given(st.binary(max_size=64))
+    def test_verify_roundtrip(self, data):
+        assert Crc8().verify(data, crc8(data))
+        assert Crc16().verify(data, crc16(data))
+
+    def test_verify_rejects_wrong_checksum(self):
+        assert not Crc8().verify(b"abc", crc8(b"abc") ^ 1)
+        assert not Crc16().verify(b"abc", crc16(b"abc") ^ 1)
+
+    def test_verify_masks_to_width(self):
+        assert Crc8().verify(b"abc", crc8(b"abc") | 0x100)
+        assert Crc16().verify(b"abc", crc16(b"abc") | 0x10000)
+
+
+class TestIncrementalConsistency:
+    @given(st.binary(max_size=32), st.binary(max_size=32))
+    def test_concatenation_changes_crc(self, a, b):
+        # Not a mathematical identity, but appending data must not be a
+        # no-op unless b is empty.
+        if b:
+            assert crc16(a + b) != crc16(a) or crc16(b) == crc16(b"")
+
+    def test_custom_polynomial(self):
+        other = Crc8(poly=0x31)  # CRC-8/MAXIM basis polynomial
+        assert other.compute(b"123456789") != crc8(b"123456789")

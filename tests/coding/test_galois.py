@@ -1,0 +1,146 @@
+"""Field axioms and polynomial arithmetic over GF(256)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.coding.galois import (
+    GF256,
+    gf_add,
+    gf_div,
+    gf_inverse,
+    gf_mul,
+    gf_pow,
+    poly_add,
+    poly_divmod,
+    poly_eval,
+    poly_mul,
+    poly_strip,
+)
+
+elements = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+class TestFieldAxioms:
+    @given(elements, elements)
+    def test_addition_is_xor_and_commutative(self, a, b):
+        assert gf_add(a, b) == (a ^ b)
+        assert gf_add(a, b) == gf_add(b, a)
+
+    @given(elements)
+    def test_addition_self_inverse(self, a):
+        assert gf_add(a, a) == 0
+
+    @given(elements, elements)
+    def test_multiplication_commutative(self, a, b):
+        assert gf_mul(a, b) == gf_mul(b, a)
+
+    @given(elements, elements, elements)
+    def test_multiplication_associative(self, a, b, c):
+        assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+    @given(elements, elements, elements)
+    def test_distributive(self, a, b, c):
+        assert gf_mul(a, b ^ c) == gf_mul(a, b) ^ gf_mul(a, c)
+
+    @given(elements)
+    def test_multiplicative_identity(self, a):
+        assert gf_mul(a, 1) == a
+
+    @given(elements)
+    def test_zero_annihilates(self, a):
+        assert gf_mul(a, 0) == 0
+
+    @given(nonzero)
+    def test_inverse(self, a):
+        assert gf_mul(a, gf_inverse(a)) == 1
+
+    @given(nonzero, nonzero)
+    def test_division_inverts_multiplication(self, a, b):
+        assert gf_div(gf_mul(a, b), b) == a
+
+    def test_zero_inverse_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_inverse(0)
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_div(5, 0)
+
+
+class TestPowers:
+    def test_generator_order_255(self):
+        seen = set()
+        for i in range(255):
+            seen.add(gf_pow(2, i))
+        assert len(seen) == 255
+        assert gf_pow(2, 255) == 1
+
+    @given(nonzero, st.integers(min_value=0, max_value=600))
+    def test_pow_matches_repeated_multiplication(self, a, n):
+        expected = 1
+        for __ in range(n % 255):
+            expected = gf_mul(expected, a)
+        assert gf_pow(a, n % 255) == expected
+
+    def test_pow_of_zero(self):
+        assert gf_pow(0, 0) == 1
+        assert gf_pow(0, 5) == 0
+
+
+class TestExpLogTables:
+    def test_tables_are_inverse(self):
+        for value in range(1, 256):
+            assert GF256.exp[GF256.log[value]] == value
+
+
+polys = st.lists(elements, min_size=1, max_size=12).map(
+    lambda coeffs: np.array(coeffs, dtype=np.int64)
+)
+
+
+class TestPolynomials:
+    @given(polys, polys)
+    def test_mul_degree(self, p, q):
+        p, q = poly_strip(p), poly_strip(q)
+        prod = poly_mul(p, q)
+        if np.any(p) and np.any(q):
+            assert len(poly_strip(prod)) == len(p) + len(q) - 1
+
+    @given(polys, polys, elements)
+    def test_mul_evaluates_pointwise(self, p, q, x):
+        assert poly_eval(poly_mul(p, q), x) == gf_mul(poly_eval(p, x), poly_eval(q, x))
+
+    @given(polys, polys, elements)
+    def test_add_evaluates_pointwise(self, p, q, x):
+        assert poly_eval(poly_add(p, q), x) == (poly_eval(p, x) ^ poly_eval(q, x))
+
+    @given(polys, polys)
+    def test_divmod_reconstructs(self, p, q):
+        q = poly_strip(q)
+        if not np.any(q):
+            return
+        quotient, remainder = poly_divmod(p, q)
+        reconstructed = poly_add(poly_mul(quotient, q), remainder)
+        assert np.array_equal(poly_strip(reconstructed), poly_strip(p))
+
+    @given(polys)
+    def test_divmod_by_self_gives_unit(self, p):
+        p = poly_strip(p)
+        if not np.any(p):
+            return
+        quotient, remainder = poly_divmod(p, p)
+        lead = int(p[0])
+        assert poly_eval(quotient, 0) in range(256)
+        assert np.array_equal(poly_strip(remainder), np.zeros(1, dtype=np.int64))
+        assert gf_mul(int(poly_strip(quotient)[0]), lead) == lead
+
+    def test_divide_by_zero_polynomial(self):
+        with pytest.raises(ZeroDivisionError):
+            poly_divmod(np.array([1, 2, 3]), np.array([0]))
+
+    def test_strip(self):
+        assert np.array_equal(poly_strip(np.array([0, 0, 5, 1])), np.array([5, 1]))
+        assert np.array_equal(poly_strip(np.array([0, 0])), np.array([0]))

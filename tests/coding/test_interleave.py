@@ -1,0 +1,78 @@
+"""Interleaver permutation properties and burst-spreading behaviour."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.coding.interleave import Interleaver, block_deinterleave, block_interleave
+
+
+class TestRoundTrip:
+    @given(st.binary(max_size=300), st.integers(1, 20))
+    def test_roundtrip(self, data, depth):
+        assert block_deinterleave(block_interleave(data, depth), depth) == data
+
+    @given(st.binary(max_size=100))
+    def test_depth_one_is_identity(self, data):
+        assert block_interleave(data, 1) == data
+
+    @given(st.binary(max_size=100), st.integers(1, 10))
+    def test_is_a_permutation(self, data, depth):
+        out = block_interleave(data, depth)
+        assert len(out) == len(data)
+        assert sorted(out) == sorted(data)
+
+
+class TestBurstSpreading:
+    def test_adjacent_wire_bytes_land_in_distinct_codewords(self):
+        # 4 codewords of 8 bytes, depth 4: any burst of 4 consecutive wire
+        # bytes must touch 4 different codewords.
+        depth = 4
+        data = bytes(range(32))
+        wire = block_interleave(data, depth)
+        for start in range(len(wire) - depth + 1):
+            burst = wire[start : start + depth]
+            codewords = {b // 8 for b in burst}
+            assert len(codewords) == depth
+
+    def test_burst_becomes_isolated_errors(self):
+        depth = 8
+        data = bytes(64)
+        wire = bytearray(block_interleave(data, depth))
+        for i in range(8):  # one 8-byte burst on the wire
+            wire[16 + i] ^= 0xFF
+        restored = block_deinterleave(bytes(wire), depth)
+        # After deinterleaving the errors are spread: no two adjacent.
+        bad = [i for i, b in enumerate(restored) if b != 0]
+        assert len(bad) == 8
+        assert all(b2 - b1 > 1 for b1, b2 in zip(bad, bad[1:]))
+
+
+class TestErasureMapping:
+    @given(
+        st.integers(2, 8),
+        st.integers(10, 80),
+        st.sets(st.integers(0, 79), max_size=10),
+    )
+    def test_map_erasures_matches_permutation(self, depth, length, positions):
+        positions = {p for p in positions if p < length}
+        inter = Interleaver(depth)
+        data = bytes(range(length % 256)) * (length // 256 + 1)
+        data = data[:length]
+        wire = bytearray(inter.scramble(data))
+        for p in positions:
+            wire[p] = 0xFF
+        restored = inter.unscramble(bytes(wire))
+        mapped = inter.map_erasures(sorted(positions), length)
+        # Every mapped index points at a byte that differs from the
+        # original (or originally was 0xFF).
+        for idx in mapped:
+            assert restored[idx] == 0xFF or restored[idx] != data[idx] or data[idx] == 0xFF
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            Interleaver(0)
+
+    def test_out_of_range_positions_dropped(self):
+        inter = Interleaver(3)
+        assert inter.map_erasures([-1, 1000], 10) == []

@@ -1,0 +1,197 @@
+"""Reed-Solomon encode/decode, erasures, failure detection, chunking."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding.reed_solomon import BlockCode, ReedSolomon, RSDecodeError
+
+
+@pytest.fixture(scope="module")
+def rs32():
+    return ReedSolomon(32, 24)
+
+
+class TestParameters:
+    @pytest.mark.parametrize("n,k", [(0, 0), (10, 10), (10, 12), (256, 200), (5, 0)])
+    def test_invalid_parameters_rejected(self, n, k):
+        with pytest.raises(ValueError):
+            ReedSolomon(n, k)
+
+    def test_max_errors(self):
+        assert ReedSolomon(32, 24).max_errors == 4
+        assert ReedSolomon(255, 223).max_errors == 16
+        assert ReedSolomon(10, 9).max_errors == 0
+
+
+class TestEncode:
+    def test_systematic(self, rs32):
+        msg = bytes(range(24))
+        cw = rs32.encode(msg)
+        assert len(cw) == 32
+        assert cw[:24] == msg
+
+    def test_wrong_length_rejected(self, rs32):
+        with pytest.raises(ValueError):
+            rs32.encode(b"\x00" * 23)
+
+    def test_valid_codeword_checks(self, rs32):
+        assert rs32.check(rs32.encode(bytes(range(24))))
+
+    def test_corrupted_codeword_fails_check(self, rs32):
+        cw = bytearray(rs32.encode(bytes(range(24))))
+        cw[0] ^= 1
+        assert not rs32.check(bytes(cw))
+
+    def test_check_wrong_length(self, rs32):
+        assert not rs32.check(b"\x00" * 31)
+
+
+class TestDecode:
+    def test_clean_roundtrip(self, rs32):
+        msg = bytes(range(24))
+        assert rs32.decode(rs32.encode(msg)) == msg
+
+    @pytest.mark.parametrize("num_errors", [1, 2, 3, 4])
+    def test_corrects_up_to_t_errors(self, rs32, num_errors):
+        rng = np.random.default_rng(num_errors)
+        for trial in range(20):
+            msg = bytes(rng.integers(0, 256, 24, dtype=np.uint8))
+            cw = bytearray(rs32.encode(msg))
+            for pos in rng.choice(32, num_errors, replace=False):
+                cw[pos] ^= int(rng.integers(1, 256))
+            assert rs32.decode(bytes(cw)) == msg
+
+    def test_beyond_t_raises_or_miscorrects_detectably(self, rs32):
+        rng = np.random.default_rng(0)
+        raised = 0
+        for __ in range(50):
+            msg = bytes(rng.integers(0, 256, 24, dtype=np.uint8))
+            cw = bytearray(rs32.encode(msg))
+            for pos in rng.choice(32, 6, replace=False):
+                cw[pos] ^= int(rng.integers(1, 256))
+            try:
+                rs32.decode(bytes(cw))
+            except RSDecodeError:
+                raised += 1
+        # 6 errors with t=4: overwhelmingly detected as uncorrectable.
+        assert raised >= 45
+
+    def test_erasures_double_the_budget(self, rs32):
+        rng = np.random.default_rng(3)
+        msg = bytes(rng.integers(0, 256, 24, dtype=np.uint8))
+        cw = bytearray(rs32.encode(msg))
+        positions = rng.choice(32, 8, replace=False)
+        for pos in positions:
+            cw[pos] ^= int(rng.integers(1, 256))
+        # 8 corruptions, all flagged as erasures: within the n-k budget.
+        assert rs32.decode(bytes(cw), erasures=[int(p) for p in positions]) == msg
+
+    def test_mixed_errors_and_erasures(self, rs32):
+        rng = np.random.default_rng(4)
+        for s, e in [(2, 3), (4, 2), (6, 1), (0, 4)]:
+            msg = bytes(rng.integers(0, 256, 24, dtype=np.uint8))
+            cw = bytearray(rs32.encode(msg))
+            positions = rng.choice(32, s + e, replace=False)
+            for pos in positions:
+                cw[pos] ^= int(rng.integers(1, 256))
+            decoded = rs32.decode(bytes(cw), erasures=[int(p) for p in positions[:s]])
+            assert decoded == msg, f"failed at s={s}, e={e}"
+
+    def test_erasure_at_clean_position_is_harmless(self, rs32):
+        msg = bytes(range(24))
+        cw = rs32.encode(msg)
+        assert rs32.decode(cw, erasures=[0, 5, 31]) == msg
+
+    def test_too_many_erasures(self, rs32):
+        cw = rs32.encode(bytes(24))
+        with pytest.raises(RSDecodeError):
+            rs32.decode(cw, erasures=list(range(9)))
+
+    def test_erasure_position_out_of_range(self, rs32):
+        with pytest.raises(ValueError):
+            rs32.decode(rs32.encode(bytes(24)), erasures=[32])
+
+    def test_wrong_codeword_length(self, rs32):
+        with pytest.raises(ValueError):
+            rs32.decode(b"\x00" * 31)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        data=st.binary(min_size=24, max_size=24),
+        error_positions=st.sets(st.integers(0, 31), min_size=0, max_size=4),
+        seed=st.integers(0, 2**16),
+    )
+    def test_property_roundtrip_under_t_errors(self, data, error_positions, seed):
+        rs = ReedSolomon(32, 24)
+        rng = np.random.default_rng(seed)
+        cw = bytearray(rs.encode(data))
+        for pos in error_positions:
+            cw[pos] ^= int(rng.integers(1, 256))
+        assert rs.decode(bytes(cw)) == data
+
+    @pytest.mark.parametrize("n,k", [(255, 223), (15, 11), (7, 3), (64, 48)])
+    def test_other_parameters(self, n, k):
+        rng = np.random.default_rng(n)
+        rs = ReedSolomon(n, k)
+        msg = bytes(rng.integers(0, 256, k, dtype=np.uint8))
+        cw = bytearray(rs.encode(msg))
+        for pos in rng.choice(n, rs.max_errors, replace=False):
+            cw[pos] ^= int(rng.integers(1, 256))
+        assert rs.decode(bytes(cw)) == msg
+
+
+class TestBlockCode:
+    def test_rate_and_lengths(self):
+        bc = BlockCode(32, 24)
+        assert bc.rate == 0.75
+        assert bc.encoded_length(24) == 32
+        assert bc.encoded_length(25) == 64
+        assert bc.encoded_length(0) == 32  # one chunk minimum
+
+    def test_roundtrip_multichunk(self):
+        bc = BlockCode(32, 24)
+        payload = bytes(range(100)) * 2
+        coded = bc.encode(payload)
+        assert len(coded) % 32 == 0
+        assert bc.decode(coded, len(payload)) == payload
+
+    def test_roundtrip_with_chunk_errors(self):
+        rng = np.random.default_rng(9)
+        bc = BlockCode(32, 24)
+        payload = bytes(rng.integers(0, 256, 200, dtype=np.uint8))
+        coded = bytearray(bc.encode(payload))
+        # Up to t errors in every chunk.
+        for chunk in range(len(coded) // 32):
+            for pos in rng.choice(32, 4, replace=False):
+                coded[chunk * 32 + pos] ^= int(rng.integers(1, 256))
+        assert bc.decode(bytes(coded), len(payload)) == payload
+
+    def test_erasures_routed_to_chunks(self):
+        rng = np.random.default_rng(10)
+        bc = BlockCode(32, 24)
+        payload = bytes(rng.integers(0, 256, 48, dtype=np.uint8))
+        coded = bytearray(bc.encode(payload))
+        bad = [0, 1, 2, 3, 4, 5, 38, 39, 40]  # 6 in chunk 0, 3 in chunk 1
+        for pos in bad:
+            coded[pos] ^= 0xAA
+        assert bc.decode(bytes(coded), len(payload), erasures=bad) == payload
+
+    def test_decode_lenient_passes_failures_through(self):
+        rng = np.random.default_rng(11)
+        bc = BlockCode(10, 8)
+        payload = bytes(rng.integers(0, 256, 32, dtype=np.uint8))
+        coded = bytearray(bc.encode(payload))
+        # Destroy chunk 1 beyond repair (t = 1).
+        for pos in range(10, 15):
+            coded[pos] ^= 0xFF
+        out, failed = bc.decode_lenient(bytes(coded), 32)
+        assert failed == [1]
+        assert out[:8] == payload[:8]
+        assert out[16:] == payload[16:]
+
+    def test_decode_length_mismatch(self):
+        bc = BlockCode(32, 24)
+        with pytest.raises(ValueError):
+            bc.decode(b"\x00" * 33, 10)

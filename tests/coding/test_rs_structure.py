@@ -1,0 +1,70 @@
+"""Structural properties of the RS code: generator roots, detection
+guarantees, linearity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding.galois import gf_pow, poly_eval
+from repro.coding.reed_solomon import ReedSolomon, _generator_poly
+
+
+class TestGeneratorPolynomial:
+    @pytest.mark.parametrize("num_parity", [2, 4, 8, 16])
+    def test_roots_are_consecutive_alpha_powers(self, num_parity):
+        gen = _generator_poly(num_parity)
+        for i in range(num_parity):
+            assert poly_eval(gen, gf_pow(2, i)) == 0
+
+    def test_degree(self):
+        assert len(_generator_poly(8)) == 9
+
+    def test_nonroot(self):
+        gen = _generator_poly(8)
+        assert poly_eval(gen, gf_pow(2, 8)) != 0
+
+
+class TestCodewordProperties:
+    def test_every_codeword_evaluates_to_zero_at_roots(self):
+        rs = ReedSolomon(20, 12)
+        rng = np.random.default_rng(0)
+        for __ in range(10):
+            cw = rs.encode(bytes(rng.integers(0, 256, 12, dtype=np.uint8)))
+            word = np.frombuffer(cw, dtype=np.uint8).astype(np.int64)
+            for i in range(8):
+                assert poly_eval(word, gf_pow(2, i)) == 0
+
+    def test_linearity(self):
+        """RS is linear: encode(a) XOR encode(b) is a codeword."""
+        rs = ReedSolomon(20, 12)
+        rng = np.random.default_rng(1)
+        a = bytes(rng.integers(0, 256, 12, dtype=np.uint8))
+        b = bytes(rng.integers(0, 256, 12, dtype=np.uint8))
+        xor_cw = bytes(x ^ y for x, y in zip(rs.encode(a), rs.encode(b)))
+        assert rs.check(xor_cw)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        msg=st.binary(min_size=12, max_size=12),
+        pos=st.integers(0, 19),
+        flip=st.integers(1, 255),
+    )
+    def test_detects_every_single_byte_error(self, msg, pos, flip):
+        """Minimum distance n-k+1 = 9 >> 1: no single-byte error can map
+        one codeword onto another."""
+        rs = ReedSolomon(20, 12)
+        cw = bytearray(rs.encode(msg))
+        cw[pos] ^= flip
+        assert not rs.check(bytes(cw))
+        # And correction restores the original.
+        assert rs.decode(bytes(cw)) == msg
+
+    def test_burst_of_parity_only_errors(self):
+        rs = ReedSolomon(20, 12)
+        msg = bytes(range(12))
+        cw = bytearray(rs.encode(msg))
+        cw[16] ^= 0xFF
+        cw[17] ^= 0xFF
+        cw[18] ^= 0xFF
+        assert rs.decode(bytes(cw)) == msg

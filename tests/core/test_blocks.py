@@ -1,0 +1,108 @@
+"""Block localization: Eq. (1), projective interpolation, COBRA-naive mode."""
+
+import numpy as np
+import pytest
+
+from repro.core.blocks import BlockLocalizer
+from repro.core.layout import FrameLayout
+from repro.core.locators import LocatorColumn
+from repro.imaging.geometry import PinholeSetup, apply_homography
+
+
+@pytest.fixture(scope="module")
+def layout():
+    return FrameLayout(34, 60, 12)
+
+
+def perfect_column(layout, col, homography=None):
+    """A LocatorColumn with exact (optionally projected) positions."""
+    rows = np.array(list(layout.locator_rows))
+    pts = np.array([layout.cell_center_px(r, col) for r in rows], dtype=float)
+    if homography is not None:
+        pts = apply_homography(homography, pts)
+    return LocatorColumn(
+        positions=pts, refined=np.ones(len(rows), dtype=bool), column=col, rows=rows
+    )
+
+
+def make_localizer(layout, homography=None, projective=True):
+    return BlockLocalizer(
+        layout=layout,
+        left=perfect_column(layout, layout.left_locator_col, homography),
+        middle=perfect_column(layout, layout.middle_locator_col, homography),
+        right=perfect_column(layout, layout.right_locator_col, homography),
+        projective=projective,
+    )
+
+
+class TestFrontal:
+    def test_exact_on_undistorted_grid(self, layout):
+        loc = make_localizer(layout)
+        cells = layout.data_cells
+        centers = loc.cell_centers(cells)
+        truth = np.array([layout.cell_center_px(r, c) for r, c in cells])
+        assert np.allclose(centers, truth, atol=1e-6)
+
+    def test_linear_mode_also_exact_frontal(self, layout):
+        loc = make_localizer(layout, projective=False)
+        cells = layout.data_cells
+        centers = loc.cell_centers(cells, projective=False)
+        truth = np.array([layout.cell_center_px(r, c) for r, c in cells])
+        assert np.allclose(centers, truth, atol=1e-6)
+
+    def test_extrapolates_to_tracking_bars(self, layout):
+        loc = make_localizer(layout)
+        bar = loc.column_centers(np.arange(layout.grid_rows), 0)
+        truth = np.array([layout.cell_center_px(r, 0) for r in range(layout.grid_rows)])
+        assert np.allclose(bar, truth, atol=1e-6)
+
+    def test_row_centers_helper(self, layout):
+        loc = make_localizer(layout)
+        cols = np.array([5, 6, 7])
+        out = loc.row_centers(9, cols)
+        truth = np.array([layout.cell_center_px(9, c) for c in cols])
+        assert np.allclose(out, truth, atol=1e-6)
+
+
+class TestUnderPerspective:
+    @pytest.mark.parametrize("angle", [10.0, 25.0, 40.0])
+    def test_projective_mode_tracks_true_perspective(self, layout, angle):
+        setup = PinholeSetup(
+            screen_size_px=layout.size_px, sensor_size_px=(480, 800), view_angle_deg=angle
+        )
+        h = setup.homography()
+        loc = make_localizer(layout, homography=h)
+        cells = layout.data_cells
+        centers = loc.cell_centers(cells)
+        truth = apply_homography(h, np.array([layout.cell_center_px(r, c) for r, c in cells]))
+        err = np.linalg.norm(centers - truth, axis=1)
+        # The 3-anchor 1-D homography is exact along rows; residual error
+        # comes only from the vertical linearization between locator rows.
+        assert err.max() < 0.6, f"angle {angle}: max err {err.max():.2f}"
+
+    def test_linear_eq1_drifts_under_perspective(self, layout):
+        # The ablation claim: Eq. (1) linear interpolation drifts by a
+        # substantial fraction of a block once the view angle grows.
+        setup = PinholeSetup(
+            screen_size_px=layout.size_px, sensor_size_px=(480, 800), view_angle_deg=25.0
+        )
+        h = setup.homography()
+        loc = make_localizer(layout, homography=h)
+        cells = layout.data_cells
+        truth = apply_homography(h, np.array([layout.cell_center_px(r, c) for r, c in cells]))
+        err_linear = np.linalg.norm(loc.cell_centers(cells, projective=False) - truth, axis=1)
+        err_proj = np.linalg.norm(loc.cell_centers(cells, projective=True) - truth, axis=1)
+        assert err_linear.max() > 4 * max(err_proj.max(), 0.1)
+
+    def test_naive_two_point_worse_than_three_columns(self, layout):
+        setup = PinholeSetup(
+            screen_size_px=layout.size_px, sensor_size_px=(480, 800), view_angle_deg=25.0
+        )
+        h = setup.homography()
+        loc = make_localizer(layout, homography=h)
+        cells = layout.data_cells
+        truth = apply_homography(h, np.array([layout.cell_center_px(r, c) for r, c in cells]))
+        err_naive = np.linalg.norm(loc.two_point_centers_naive(cells) - truth, axis=1)
+        err_eq1 = np.linalg.norm(loc.cell_centers(cells, projective=False) - truth, axis=1)
+        # Fig. 4's claim: the middle locator column improves accuracy.
+        assert err_naive.mean() > err_eq1.mean()

@@ -1,0 +1,51 @@
+"""Geometry-overlay and extraction-summary helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.debug import describe_extraction, geometry_overlay
+from repro.core.decoder import FrameDecoder
+from repro.core.encoder import FrameCodecConfig, FrameEncoder
+
+
+@pytest.fixture(scope="module")
+def setup():
+    cfg = FrameCodecConfig(display_rate=10)
+    frame = FrameEncoder(cfg).encode_frame(b"debug", sequence=2)
+    return cfg, frame.render()
+
+
+class TestOverlay:
+    def test_overlay_same_shape_and_changed(self, setup):
+        cfg, image = setup
+        decoder = FrameDecoder(cfg)
+        overlay = geometry_overlay(image, decoder)
+        assert overlay.shape == image.shape
+        assert not np.array_equal(overlay, image)
+
+    def test_overlay_accepts_precomputed_extraction(self, setup):
+        cfg, image = setup
+        decoder = FrameDecoder(cfg)
+        extraction = decoder.extract(image)
+        overlay = geometry_overlay(image, decoder, extraction=extraction)
+        # Cyan cell markers appear where centers were painted.
+        cyan = (overlay == np.array([0.0, 1.0, 1.0])).all(axis=-1)
+        assert cyan.sum() > 100
+
+    def test_grayscale_input_promoted(self, setup):
+        cfg, image = setup
+        decoder = FrameDecoder(cfg)
+        extraction = decoder.extract(image)
+        gray = image.mean(axis=-1)
+        overlay = geometry_overlay(gray, decoder, extraction=extraction)
+        assert overlay.ndim == 3 and overlay.shape[-1] == 3
+
+
+class TestDescribe:
+    def test_summary_contents(self, setup):
+        cfg, image = setup
+        extraction = FrameDecoder(cfg).extract(image)
+        text = describe_extraction(extraction)
+        assert "seq=2" in text
+        assert "T_v=" in text
+        assert "own" in text and "erased" in text

@@ -1,0 +1,83 @@
+"""Frame header packing, CRC protection, field limits."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.header import HEADER_BYTES, FrameHeader, HeaderError
+
+
+def make(seq=0, rate=10, app=0, chk=0x1234, last=False):
+    return FrameHeader(
+        sequence=seq, display_rate=rate, app_type=app, payload_checksum=chk, is_last=last
+    )
+
+
+class TestPacking:
+    def test_length(self):
+        assert len(make().pack()) == HEADER_BYTES
+
+    @given(
+        st.integers(0, 0x7FFF),
+        st.integers(0, 255),
+        st.integers(0, 255),
+        st.integers(0, 0xFFFF),
+        st.booleans(),
+    )
+    def test_roundtrip(self, seq, rate, app, chk, last):
+        header = make(seq, rate, app, chk, last)
+        decoded = FrameHeader.unpack(header.pack())
+        assert decoded == header
+
+    def test_last_flag_is_msb(self):
+        packed = make(seq=1, last=True).pack()
+        assert packed[0] & 0x80
+        packed = make(seq=1, last=False).pack()
+        assert not packed[0] & 0x80
+
+    def test_tracking_indicator_low_bits(self):
+        assert make(seq=0b101110).tracking_indicator == 0b10
+
+
+class TestValidation:
+    def test_sequence_too_large(self):
+        with pytest.raises(ValueError):
+            make(seq=0x8000)
+
+    def test_negative_sequence(self):
+        with pytest.raises(ValueError):
+            make(seq=-1)
+
+    def test_rate_range(self):
+        with pytest.raises(ValueError):
+            make(rate=256)
+
+    def test_checksum_range(self):
+        with pytest.raises(ValueError):
+            make(chk=0x10000)
+
+
+class TestCorruption:
+    @pytest.mark.parametrize("byte_index", range(HEADER_BYTES))
+    def test_any_single_byte_corruption_detected(self, byte_index):
+        packed = bytearray(make(seq=0x1ABC, chk=0xBEEF).pack())
+        packed[byte_index] ^= 0x5A
+        with pytest.raises(HeaderError):
+            FrameHeader.unpack(bytes(packed))
+
+    def test_truncated(self):
+        with pytest.raises(HeaderError):
+            FrameHeader.unpack(make().pack()[:8])
+
+    def test_per_group_crc_isolates_damage(self):
+        # Corrupting group 2's data must be reported for group 2's CRC,
+        # leaving groups 0-1 parseable — the paper protects each 16-bit
+        # group independently.
+        packed = bytearray(make().pack())
+        packed[7] ^= 0xFF
+        with pytest.raises(HeaderError, match="group 2"):
+            FrameHeader.unpack(bytes(packed))
+
+    def test_extra_bytes_ignored(self):
+        header = make(seq=42)
+        assert FrameHeader.unpack(header.pack() + b"\xAA\xBB") == header

@@ -1,0 +1,139 @@
+"""Frame layout geometry: roles, locator columns, capacity accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.layout import CellRole, FrameLayout
+
+
+@pytest.fixture(scope="module")
+def layout():
+    return FrameLayout(grid_rows=34, grid_cols=60, block_px=12)
+
+
+class TestValidation:
+    def test_too_narrow_for_header(self):
+        with pytest.raises(ValueError):
+            FrameLayout(grid_rows=34, grid_cols=40)
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            FrameLayout(grid_rows=6, grid_cols=60)
+
+    def test_tiny_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            FrameLayout(block_px=1)
+
+    def test_minimum_viable(self):
+        FrameLayout(grid_rows=10, grid_cols=44, block_px=2)
+
+
+class TestStructure:
+    def test_role_map_shape(self, layout):
+        assert layout.role_map.shape == (34, 60)
+
+    def test_border_is_tracking_bar(self, layout):
+        roles = layout.role_map
+        assert np.all(roles[0] == int(CellRole.TRACKING_BAR))
+        assert np.all(roles[-1] == int(CellRole.TRACKING_BAR))
+        assert np.all(roles[:, 0] == int(CellRole.TRACKING_BAR))
+        assert np.all(roles[:, -1] == int(CellRole.TRACKING_BAR))
+
+    def test_two_corner_trackers_only(self, layout):
+        roles = layout.role_map
+        assert int((roles == int(CellRole.CT_CENTER)).sum()) == 2
+        # Each tracker ring is 8 blocks.
+        assert int((roles == int(CellRole.CT_RING_LEFT)).sum()) == 8
+        assert int((roles == int(CellRole.CT_RING_RIGHT)).sum()) == 8
+
+    def test_ct_centers_at_locator_columns(self, layout):
+        roles = layout.role_map
+        assert roles[2, layout.left_locator_col] == int(CellRole.CT_CENTER)
+        assert roles[2, layout.right_locator_col] == int(CellRole.CT_CENTER)
+
+    def test_header_between_trackers(self, layout):
+        roles = layout.role_map
+        for col in layout.header_cols:
+            assert roles[1, col] == int(CellRole.HEADER)
+        assert roles[1, 3] != int(CellRole.HEADER)  # inside left CT
+        assert layout.header_capacity_bytes >= 9
+
+    def test_three_locator_columns(self, layout):
+        cols = {layout.left_locator_col, layout.middle_locator_col, layout.right_locator_col}
+        assert len(cols) == 3
+        roles = layout.role_map
+        for row in layout.locator_rows:
+            if row == layout.ct_center_row:
+                continue  # outer positions there are CT centers
+            for col in cols:
+                assert roles[row, col] == int(CellRole.LOCATOR)
+
+    def test_locators_every_second_row(self, layout):
+        rows = list(layout.locator_rows)
+        assert rows[0] == 2
+        assert all(b - a == 2 for a, b in zip(rows, rows[1:]))
+        assert rows[-1] <= layout.grid_rows - 2
+
+    def test_blocks_between_locators_carry_data(self, layout):
+        # Section III-B: cells between two adjacent locators are code area.
+        roles = layout.role_map
+        mid = layout.middle_locator_col
+        assert roles[3, mid] == int(CellRole.DATA)
+        assert roles[5, mid] == int(CellRole.DATA)
+
+    def test_locator_cells_accessor(self, layout):
+        cells = layout.locator_cells(layout.middle_locator_col)
+        assert cells[0].tolist() == [2, layout.middle_locator_col]
+        with pytest.raises(ValueError):
+            layout.locator_cells(10)
+
+
+class TestDataCells:
+    def test_row_major_order(self, layout):
+        cells = layout.data_cells
+        keys = cells[:, 0] * layout.grid_cols + cells[:, 1]
+        assert np.all(np.diff(keys) > 0)
+
+    def test_roles_partition_grid(self, layout):
+        report_total = (
+            len(layout.data_cells)
+            + len(layout.header_cells)
+            + int((layout.role_map == int(CellRole.LOCATOR)).sum())
+            + 2 + 16  # CT centers + rings
+            + int((layout.role_map == int(CellRole.TRACKING_BAR)).sum())
+        )
+        assert report_total == layout.grid_rows * layout.grid_cols
+
+    def test_capacity_bits(self, layout):
+        assert layout.data_capacity_bits == 2 * len(layout.data_cells)
+        assert layout.data_capacity_bytes == layout.data_capacity_bits // 8
+
+    def test_symbol_rows_aligned(self, layout):
+        assert np.array_equal(layout.symbol_rows, layout.data_cells[:, 0])
+
+    @given(st.integers(10, 40), st.integers(44, 80))
+    def test_no_data_in_structural_cells(self, rows, cols):
+        layout = FrameLayout(grid_rows=rows, grid_cols=cols, block_px=4)
+        roles = layout.role_map
+        cells = layout.data_cells
+        assert np.all(roles[cells[:, 0], cells[:, 1]] == int(CellRole.DATA))
+
+
+class TestPixelGeometry:
+    def test_size(self, layout):
+        assert layout.size_px == (34 * 12, 60 * 12)
+
+    def test_cell_center(self, layout):
+        x, y = layout.cell_center_px(0, 0)
+        assert (x, y) == (5.5, 5.5)
+        x, y = layout.cell_center_px(2, 3)
+        assert (x, y) == (3.5 * 12 - 0.5, 2.5 * 12 - 0.5)
+
+    def test_scaled_preserves_grid(self, layout):
+        small = layout.scaled(8)
+        assert small.grid_rows == layout.grid_rows
+        assert small.grid_cols == layout.grid_cols
+        assert small.block_px == 8
+        assert np.array_equal(small.role_map, layout.role_map)

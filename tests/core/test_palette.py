@@ -1,0 +1,100 @@
+"""Color alphabet, bit mappings, tracking-bar indicator arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.palette import (
+    DATA_COLORS,
+    Color,
+    bits_to_color,
+    bytes_to_symbols,
+    color_to_bits,
+    rgb_of,
+    symbols_to_bytes,
+    tracking_bar_difference,
+    tracking_color_for_sequence,
+)
+
+
+class TestAlphabet:
+    def test_paper_mapping(self):
+        # Section III-D: white 00, red 01, green 10, blue 11.
+        assert bits_to_color(0) == Color.WHITE
+        assert bits_to_color(1) == Color.RED
+        assert bits_to_color(2) == Color.GREEN
+        assert bits_to_color(3) == Color.BLUE
+
+    def test_mapping_inverse(self):
+        for sym in range(4):
+            assert color_to_bits(bits_to_color(sym)) == sym
+
+    def test_black_carries_no_bits(self):
+        with pytest.raises(ValueError):
+            color_to_bits(Color.BLACK)
+
+    def test_out_of_range_symbol(self):
+        with pytest.raises(ValueError):
+            bits_to_color(4)
+
+    def test_rgb_values_are_saturated_primaries(self):
+        assert rgb_of(Color.RED).tolist() == [1, 0, 0]
+        assert rgb_of(Color.GREEN).tolist() == [0, 1, 0]
+        assert rgb_of(Color.BLUE).tolist() == [0, 0, 1]
+        assert rgb_of(Color.WHITE).tolist() == [1, 1, 1]
+        assert rgb_of(Color.BLACK).tolist() == [0, 0, 0]
+
+
+class TestSymbolPacking:
+    def test_one_byte_msb_first(self):
+        # 0b11_01_00_10 -> symbols 3, 1, 0, 2
+        assert bytes_to_symbols(bytes([0b11010010])).tolist() == [3, 1, 0, 2]
+
+    @given(st.binary(max_size=100))
+    def test_roundtrip(self, data):
+        assert symbols_to_bytes(bytes_to_symbols(data)) == data
+
+    def test_empty(self):
+        assert bytes_to_symbols(b"").size == 0
+        assert symbols_to_bytes(np.zeros(0, dtype=np.int64)) == b""
+
+    def test_unaligned_rejected(self):
+        with pytest.raises(ValueError):
+            symbols_to_bytes(np.array([1, 2, 3]))
+
+    def test_invalid_symbol_rejected(self):
+        with pytest.raises(ValueError):
+            symbols_to_bytes(np.array([0, 1, 2, 4]))
+        with pytest.raises(ValueError):
+            symbols_to_bytes(np.array([0, 1, 2, -1]))
+
+
+class TestTrackingBars:
+    def test_four_consecutive_frames_distinct(self):
+        colors = {tracking_color_for_sequence(s) for s in range(4)}
+        assert len(colors) == 4
+
+    def test_color_follows_low_bits(self):
+        assert tracking_color_for_sequence(0) == Color.WHITE
+        assert tracking_color_for_sequence(5) == Color.RED
+        assert tracking_color_for_sequence(0x7FFE) == Color.GREEN
+
+    @given(st.integers(0, 3), st.integers(0, 3))
+    def test_difference_cyclic(self, a, b):
+        d = tracking_bar_difference(a, b)
+        assert 0 <= d <= 3
+        assert (b + d) % 4 == a
+
+    def test_paper_example_wraparound(self):
+        # "difference between 11 and 00 is 1, but between 00 and 11 is 3"
+        assert tracking_bar_difference(0b00, 0b11) == 1
+        assert tracking_bar_difference(0b11, 0b00) == 3
+
+    def test_same_frame_zero(self):
+        for ind in range(4):
+            assert tracking_bar_difference(ind, ind) == 0
+
+    def test_data_colors_tuple_consistent(self):
+        assert len(DATA_COLORS) == 4
+        assert Color.BLACK not in DATA_COLORS

@@ -1,0 +1,88 @@
+"""Property-based tests of the symbol-domain codec invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decoder import assemble_frame
+from repro.core.encoder import FrameCodecConfig, FrameEncoder
+from repro.core.layout import FrameLayout
+from repro.core.palette import DATA_COLORS
+
+
+@pytest.fixture(scope="module")
+def config():
+    return FrameCodecConfig(layout=FrameLayout(34, 60, 12), display_rate=10)
+
+
+def truth_symbols(config, frame):
+    table = np.full(8, -1, dtype=np.int64)
+    for sym, color in enumerate(DATA_COLORS):
+        table[int(color)] = sym
+    cells = config.layout.data_cells
+    return table[frame.grid[cells[:, 0], cells[:, 1]]]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    payload=st.binary(max_size=310),
+    seq=st.integers(0, 0x7FFF),
+    data=st.data(),
+)
+def test_roundtrip_with_bounded_error_burst(payload, seq, data):
+    """Any frame survives a wire burst of up to ``4 t`` codeword-budget.
+
+    The interleaver's guarantee is for *bursts*: consecutive wire bytes
+    land in distinct RS codewords, so a contiguous run of up to
+    ``chunks_per_frame * t`` corrupted bytes costs each codeword at most
+    ``t`` errors.  (Arbitrary scattered errors carry no such guarantee —
+    adversarial placement can overload a single codeword.)
+    """
+    config = FrameCodecConfig(layout=FrameLayout(34, 60, 12), display_rate=10)
+    frame = FrameEncoder(config).encode_frame(payload, sequence=seq)
+    symbols = truth_symbols(config, frame)
+
+    t = (config.rs_n - config.rs_k) // 2
+    max_burst = config.chunks_per_frame * t
+    active_bytes = config.coded_bytes_per_frame
+    burst = data.draw(st.integers(0, max_burst))
+    start = data.draw(st.integers(0, active_bytes - max(burst, 1)))
+
+    bad = symbols.copy()
+    for byte_pos in range(start, start + burst):
+        sym_pos = 4 * byte_pos + data.draw(st.integers(0, 3))
+        bad[sym_pos] = (bad[sym_pos] + 1 + data.draw(st.integers(0, 2))) % 4
+
+    result = assemble_frame(config, frame.header, bad)
+    assert result.ok
+    assert result.payload == frame.payload
+    assert result.sequence == seq
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    payload=st.binary(max_size=100),
+    erased_rows=st.sets(st.integers(4, 30), max_size=3),
+)
+def test_roundtrip_with_row_erasures(payload, erased_rows):
+    """Up to a few fully-erased rows are recovered via RS erasures."""
+    config = FrameCodecConfig(layout=FrameLayout(34, 60, 12), display_rate=10)
+    frame = FrameEncoder(config).encode_frame(payload, sequence=3)
+    symbols = truth_symbols(config, frame)
+    for row in erased_rows:
+        symbols[config.layout.symbol_rows == row] = -1
+    result = assemble_frame(config, frame.header, symbols)
+    assert result.ok
+    assert result.payload == frame.payload
+
+
+@settings(max_examples=15, deadline=None)
+@given(payload=st.binary(max_size=310), seq=st.integers(0, 0x7FFF))
+def test_grid_is_pure_function_of_inputs(payload, seq):
+    config = FrameCodecConfig(layout=FrameLayout(34, 60, 12), display_rate=10)
+    enc = FrameEncoder(config)
+    a = enc.encode_frame(payload, sequence=seq)
+    b = enc.encode_frame(payload, sequence=seq)
+    assert np.array_equal(a.grid, b.grid)
+    assert a.header == b.header

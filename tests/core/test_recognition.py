@@ -1,0 +1,129 @@
+"""Brightness assessment (T_v) and HSV color classification."""
+
+import numpy as np
+import pytest
+
+from repro.core.brightness import estimate_black_threshold
+from repro.core.palette import Color, rgb_of
+from repro.core.recognition import ColorClassifier, classify_hsv, sample_block_colors
+from repro.imaging.color import rgb_to_hsv
+
+
+def checkerboard(bright=1.0, dark=0.0, size=64):
+    img = np.full((size, size, 3), dark)
+    img[::2, ::2] = bright
+    img[1::2, 1::2] = bright
+    return img
+
+
+class TestBlackThreshold:
+    def test_sits_between_populations(self):
+        img = checkerboard(bright=0.9, dark=0.05)
+        est = estimate_black_threshold(img)
+        assert 0.05 < est.t_value < 0.9
+        # Eq. 2 with mu = 0.55 weights the black mean slightly more.
+        expected = 0.55 * est.mean_black_value + 0.45 * est.mean_other_value
+        assert est.t_value == pytest.approx(expected)
+
+    def test_adapts_to_dim_screen(self):
+        bright_img = checkerboard(bright=1.0, dark=0.05)
+        dim_img = checkerboard(bright=0.3, dark=0.02)
+        t_bright = estimate_black_threshold(bright_img).t_value
+        t_dim = estimate_black_threshold(dim_img).t_value
+        assert t_dim < t_bright
+
+    def test_adapts_to_ambient_lift(self):
+        # Outdoor: blacks lifted to 0.35, whites ~1.0 — T_v must sit between.
+        img = checkerboard(bright=1.0, dark=0.35)
+        est = estimate_black_threshold(img)
+        assert 0.35 < est.t_value < 1.0
+
+    def test_deterministic(self):
+        img = checkerboard()
+        a = estimate_black_threshold(img)
+        b = estimate_black_threshold(img)
+        assert a.t_value == b.t_value
+
+    def test_contrast_property(self):
+        est = estimate_black_threshold(checkerboard(bright=0.8, dark=0.1))
+        assert est.contrast == pytest.approx(
+            est.mean_other_value - est.mean_black_value
+        )
+
+    def test_uniform_image_degenerates_gracefully(self):
+        est = estimate_black_threshold(np.full((32, 32, 3), 0.5))
+        assert np.isfinite(est.t_value)
+
+
+class TestHsvClassifier:
+    @pytest.mark.parametrize(
+        "color", [Color.BLACK, Color.WHITE, Color.RED, Color.GREEN, Color.BLUE]
+    )
+    def test_pure_colors(self, color):
+        hsv = rgb_to_hsv(rgb_of(color))
+        assert classify_hsv(hsv, t_value=0.4) == int(color)
+
+    @pytest.mark.parametrize("scale", [0.45, 0.6, 0.8, 1.0])
+    @pytest.mark.parametrize("color", [Color.RED, Color.GREEN, Color.BLUE, Color.WHITE])
+    def test_robust_to_dimming(self, color, scale):
+        # The HSV property the paper relies on: dimming preserves hue/sat.
+        hsv = rgb_to_hsv(rgb_of(color) * scale)
+        assert classify_hsv(hsv, t_value=0.4) == int(color)
+
+    def test_hue_sector_boundaries(self):
+        # Paper: (60, 180] green, (180, 300] blue, else red.
+        assert classify_hsv(np.array([61.0, 1.0, 1.0]), 0.3) == int(Color.GREEN)
+        assert classify_hsv(np.array([180.0, 1.0, 1.0]), 0.3) == int(Color.GREEN)
+        assert classify_hsv(np.array([181.0, 1.0, 1.0]), 0.3) == int(Color.BLUE)
+        assert classify_hsv(np.array([300.0, 1.0, 1.0]), 0.3) == int(Color.BLUE)
+        assert classify_hsv(np.array([301.0, 1.0, 1.0]), 0.3) == int(Color.RED)
+        assert classify_hsv(np.array([59.0, 1.0, 1.0]), 0.3) == int(Color.RED)
+
+    def test_saturation_threshold_separates_white(self):
+        washed_red = np.array([0.0, 0.40, 1.0])  # below T_sat = 0.41
+        assert classify_hsv(washed_red, 0.3) == int(Color.WHITE)
+        vivid_red = np.array([0.0, 0.45, 1.0])
+        assert classify_hsv(vivid_red, 0.3) == int(Color.RED)
+
+    def test_value_threshold_separates_black(self):
+        dark_red = rgb_to_hsv(np.array([0.2, 0.0, 0.0]))
+        assert classify_hsv(dark_red, t_value=0.25) == int(Color.BLACK)
+        assert classify_hsv(dark_red, t_value=0.15) == int(Color.RED)
+
+    def test_vectorized(self):
+        colors = [Color.WHITE, Color.RED, Color.GREEN, Color.BLUE, Color.BLACK]
+        hsv = rgb_to_hsv(np.array([rgb_of(c) for c in colors]))
+        out = classify_hsv(hsv, t_value=0.4)
+        assert out.tolist() == [int(c) for c in colors]
+
+
+class TestBlockSampling:
+    def test_mean_filter_averages_neighbourhood(self):
+        img = np.zeros((9, 9, 3))
+        img[4, 4] = [0.9, 0.0, 0.0]  # noise spike at the center
+        rgb = sample_block_colors(img, np.array([[4.0, 4.0]]), mean_filter_radius=1)
+        assert rgb[0, 0] == pytest.approx(0.1)
+
+    def test_radius_zero_is_point_sample(self):
+        img = np.zeros((9, 9, 3))
+        img[4, 4] = [0.9, 0.0, 0.0]
+        rgb = sample_block_colors(img, np.array([[4.0, 4.0]]), mean_filter_radius=0)
+        assert rgb[0, 0] == pytest.approx(0.9)
+
+    def test_classifier_denoises_impulse_noise(self):
+        rng = np.random.default_rng(0)
+        img = np.tile(np.array([0.0, 1.0, 0.0]), (15, 15, 1))
+        # Salt noise on ~15% of pixels.
+        mask = rng.random((15, 15)) < 0.15
+        img[mask] = [1.0, 1.0, 1.0]
+        img[7, 7] = [1.0, 1.0, 1.0]  # center itself corrupted
+        clf = ColorClassifier(t_value=0.3, mean_filter_radius=1)
+        assert clf.classify_centers(img, np.array([[7.0, 7.0]]))[0] == int(Color.GREEN)
+
+    def test_classify_pixels_matches_classify_hsv(self):
+        rng = np.random.default_rng(1)
+        pixels = rng.random((20, 3))
+        clf = ColorClassifier(t_value=0.35)
+        assert np.array_equal(
+            clf.classify_pixels(pixels), classify_hsv(rgb_to_hsv(pixels), 0.35)
+        )

@@ -1,0 +1,94 @@
+"""RGB <-> HSV conversion correctness."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.imaging.color import hsv_to_rgb, luminance, rgb_to_hsv, to_float, to_uint8
+
+
+class TestPureColors:
+    @pytest.mark.parametrize(
+        "rgb,hue,sat,val",
+        [
+            ((1, 0, 0), 0, 1, 1),
+            ((0, 1, 0), 120, 1, 1),
+            ((0, 0, 1), 240, 1, 1),
+            ((1, 1, 0), 60, 1, 1),
+            ((0, 1, 1), 180, 1, 1),
+            ((1, 0, 1), 300, 1, 1),
+            ((1, 1, 1), 0, 0, 1),
+            ((0, 0, 0), 0, 0, 0),
+            ((0.5, 0.5, 0.5), 0, 0, 0.5),
+        ],
+    )
+    def test_known_conversions(self, rgb, hue, sat, val):
+        h, s, v = rgb_to_hsv(np.array(rgb, dtype=float))
+        assert h == pytest.approx(hue, abs=1e-9)
+        assert s == pytest.approx(sat, abs=1e-9)
+        assert v == pytest.approx(val, abs=1e-9)
+
+    def test_dark_red_keeps_hue(self):
+        h, s, v = rgb_to_hsv(np.array([0.2, 0.0, 0.0]))
+        assert h == pytest.approx(0.0)
+        assert s == pytest.approx(1.0)
+        assert v == pytest.approx(0.2)
+
+
+class TestRoundTrip:
+    @given(
+        arrays(
+            np.float64,
+            (7, 3),
+            elements=st.floats(0, 1, allow_nan=False, width=32),
+        )
+    )
+    def test_rgb_hsv_rgb(self, rgb):
+        back = hsv_to_rgb(rgb_to_hsv(rgb))
+        assert np.allclose(back, rgb, atol=1e-9)
+
+    def test_image_shaped_input(self):
+        rng = np.random.default_rng(0)
+        img = rng.random((5, 6, 3))
+        assert rgb_to_hsv(img).shape == (5, 6, 3)
+        assert np.allclose(hsv_to_rgb(rgb_to_hsv(img)), img, atol=1e-9)
+
+    def test_hue_wraps(self):
+        assert np.allclose(hsv_to_rgb(np.array([360.0, 1.0, 1.0])), [1, 0, 0], atol=1e-9)
+        assert np.allclose(hsv_to_rgb(np.array([-120.0, 1.0, 1.0])), [0, 0, 1], atol=1e-9)
+
+
+class TestIlluminanceInvariance:
+    """The paper's reason for using HSV: dimming moves only value."""
+
+    @pytest.mark.parametrize("scale", [0.2, 0.5, 0.8])
+    @pytest.mark.parametrize("rgb", [(1, 0, 0), (0, 1, 0), (0, 0, 1)])
+    def test_hue_invariant_under_brightness_scaling(self, rgb, scale):
+        base = rgb_to_hsv(np.array(rgb, dtype=float))
+        dimmed = rgb_to_hsv(np.array(rgb, dtype=float) * scale)
+        assert dimmed[0] == pytest.approx(base[0], abs=1e-9)  # hue
+        assert dimmed[1] == pytest.approx(base[1], abs=1e-9)  # saturation
+        assert dimmed[2] == pytest.approx(base[2] * scale, abs=1e-9)  # value
+
+
+class TestDtypeHelpers:
+    def test_to_float_from_uint8(self):
+        img = np.array([[0, 128, 255]], dtype=np.uint8)
+        out = to_float(img)
+        assert out.dtype == np.float64
+        assert out[0, 0] == 0.0
+        assert out[0, 2] == 1.0
+
+    def test_to_float_clips(self):
+        assert to_float(np.array([1.5, -0.5])).tolist() == [1.0, 0.0]
+
+    def test_to_uint8_roundtrip(self):
+        img = np.linspace(0, 1, 256).reshape(16, 16)
+        assert np.array_equal(to_uint8(to_float(to_uint8(img))), to_uint8(img))
+
+    def test_luminance_weights(self):
+        assert luminance(np.array([1.0, 1.0, 1.0])) == pytest.approx(1.0)
+        assert luminance(np.array([1.0, 0.0, 0.0])) == pytest.approx(0.299)
+        assert luminance(np.array([0.0, 1.0, 0.0])) == pytest.approx(0.587)

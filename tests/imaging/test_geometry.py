@@ -1,0 +1,151 @@
+"""Homography estimation, warping, pinhole projection, lens distortion."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.geometry import (
+    PinholeSetup,
+    apply_homography,
+    estimate_homography,
+    radial_distort_points,
+    radial_undistort_points,
+    warp_perspective,
+)
+
+
+def _square(width=100.0, height=60.0):
+    return np.array([[0, 0], [width, 0], [width, height], [0, height]], dtype=float)
+
+
+class TestHomographyEstimation:
+    def test_identity(self):
+        pts = _square()
+        h = estimate_homography(pts, pts)
+        assert np.allclose(h, np.eye(3), atol=1e-9)
+
+    def test_translation(self):
+        src = _square()
+        dst = src + [10.0, -5.0]
+        h = estimate_homography(src, dst)
+        assert np.allclose(apply_homography(h, src), dst, atol=1e-9)
+
+    def test_general_projective(self):
+        src = _square()
+        dst = np.array([[3, 7], [95, 2], [110, 70], [-4, 55]], dtype=float)
+        h = estimate_homography(src, dst)
+        assert np.allclose(apply_homography(h, src), dst, atol=1e-6)
+
+    def test_overdetermined_least_squares(self):
+        rng = np.random.default_rng(1)
+        true_h = np.array([[1.1, 0.02, 5.0], [-0.03, 0.95, -2.0], [1e-4, -2e-4, 1.0]])
+        src = rng.uniform(0, 100, size=(20, 2))
+        dst = apply_homography(true_h, src)
+        h = estimate_homography(src, dst)
+        assert np.allclose(h, true_h, atol=1e-6)
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            estimate_homography(_square()[:3], _square()[:3])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            estimate_homography(_square(), _square()[:3])
+
+    def test_single_point_apply(self):
+        h = np.eye(3)
+        out = apply_homography(h, np.array([5.0, 7.0]))
+        assert out.shape == (2,)
+        assert np.allclose(out, [5, 7])
+
+
+class TestWarp:
+    def test_identity_warp_preserves_image(self):
+        rng = np.random.default_rng(0)
+        img = rng.random((40, 50, 3))
+        out = warp_perspective(img, np.eye(3), (40, 50))
+        assert np.allclose(out, img, atol=1e-9)
+
+    def test_translation_moves_content(self):
+        img = np.zeros((40, 50))
+        img[10:20, 10:20] = 1.0
+        h = np.array([[1, 0, 5], [0, 1, 3], [0, 0, 1]], dtype=float)
+        out = warp_perspective(img, h, (40, 50))
+        assert out[18, 18] == pytest.approx(1.0)
+        assert out[12, 12] == pytest.approx(0.0)
+
+    def test_fill_value_outside(self):
+        img = np.ones((10, 10))
+        h = np.array([[1, 0, 100], [0, 1, 100], [0, 0, 1]], dtype=float)
+        out = warp_perspective(img, h, (10, 10), fill=0.5)
+        assert np.allclose(out, 0.5)
+
+
+class TestRadialDistortion:
+    def test_center_fixed_point(self):
+        center = (50.0, 30.0)
+        out = radial_distort_points(np.array([50.0, 30.0]), center, k1=0.2)
+        assert np.allclose(out, [50, 30])
+
+    def test_barrel_pushes_outward(self):
+        center = (0.0, 0.0)
+        out = radial_distort_points(np.array([10.0, 0.0]), center, k1=0.1, norm_radius=10.0)
+        assert out[0] > 10.0
+
+    def test_undistort_inverts(self):
+        rng = np.random.default_rng(2)
+        center = (40.0, 25.0)
+        pts = rng.uniform(0, 80, size=(30, 2))
+        distorted = radial_distort_points(pts, center, k1=0.08, k2=0.01, norm_radius=50.0)
+        recovered = radial_undistort_points(
+            distorted, center, k1=0.08, k2=0.01, norm_radius=50.0, iterations=20
+        )
+        assert np.allclose(recovered, pts, atol=1e-6)
+
+
+class TestPinhole:
+    def _setup(self, **kwargs):
+        defaults = dict(screen_size_px=(408, 720), sensor_size_px=(480, 800))
+        defaults.update(kwargs)
+        return PinholeSetup(**defaults)
+
+    def test_frontal_projection_is_centered_and_symmetric(self):
+        setup = self._setup(view_angle_deg=0.0)
+        corners = setup.project_screen_points(setup.screen_corners_px())
+        cx = (800 - 1) / 2
+        assert corners[0][0] + corners[1][0] == pytest.approx(2 * cx, abs=1e-6)
+        assert corners[0][1] == pytest.approx(corners[1][1], abs=1e-6)
+
+    def test_distance_shrinks_projection(self):
+        near = self._setup(distance_cm=10.0)
+        far = self._setup(distance_cm=20.0)
+        span = lambda s: np.ptp(s.project_screen_points(s.screen_corners_px())[:, 0])  # noqa: E731
+        assert span(far) < span(near)
+        assert span(far) == pytest.approx(span(near) / 2, rel=1e-6)
+
+    def test_view_angle_foreshortens_asymmetrically(self):
+        setup = self._setup(view_angle_deg=25.0)
+        corners = setup.project_screen_points(setup.screen_corners_px())
+        left_height = corners[3][1] - corners[0][1]
+        right_height = corners[2][1] - corners[1][1]
+        assert abs(right_height - left_height) > 1.0  # perspective trapezoid
+
+    def test_homography_matches_projection(self):
+        setup = self._setup(view_angle_deg=18.0, tilt_angle_deg=5.0, distance_cm=15.0)
+        h = setup.homography()
+        rng = np.random.default_rng(3)
+        pts = rng.uniform([0, 0], [719, 407], size=(25, 2))
+        assert np.allclose(
+            apply_homography(h, pts), setup.project_screen_points(pts), atol=1e-6
+        )
+
+    def test_point_behind_camera_raises(self):
+        setup = self._setup(distance_cm=1.0, view_angle_deg=80.0)
+        with pytest.raises(ValueError):
+            setup.project_screen_points(setup.screen_corners_px())
+
+    def test_offset_shifts_projection(self):
+        base = self._setup()
+        shifted = self._setup(offset_px=(7.0, -3.0))
+        a = base.project_screen_points(np.array([100.0, 100.0]))
+        b = shifted.project_screen_points(np.array([100.0, 100.0]))
+        assert np.allclose(b - a, [7.0, -3.0], atol=1e-9)

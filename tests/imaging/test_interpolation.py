@@ -1,0 +1,65 @@
+"""Nearest / bilinear sub-pixel sampling."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.interpolation import sample_bilinear, sample_nearest
+
+
+@pytest.fixture
+def gradient_image():
+    # value = x + 10 y, exactly linear so bilinear must be exact.
+    ys, xs = np.mgrid[0:10, 0:12].astype(np.float64)
+    return xs + 10 * ys
+
+
+class TestNearest:
+    def test_integer_coordinates(self, gradient_image):
+        out = sample_nearest(gradient_image, np.array([3.0, 5.0]), np.array([2.0, 7.0]))
+        assert out.tolist() == [3 + 20, 5 + 70]
+
+    def test_rounding(self, gradient_image):
+        assert sample_nearest(gradient_image, np.array([3.4]), np.array([0.0]))[0] == 3
+        assert sample_nearest(gradient_image, np.array([3.6]), np.array([0.0]))[0] == 4
+
+    def test_out_of_bounds_fill(self, gradient_image):
+        out = sample_nearest(gradient_image, np.array([-5.0, 100.0]), np.array([0.0, 0.0]), fill=-1)
+        assert out.tolist() == [-1, -1]
+
+
+class TestBilinear:
+    def test_exact_on_linear_image(self, gradient_image):
+        rng = np.random.default_rng(0)
+        xs = rng.uniform(0, 11, 50)
+        ys = rng.uniform(0, 9, 50)
+        out = sample_bilinear(gradient_image, xs, ys)
+        assert np.allclose(out, xs + 10 * ys, atol=1e-9)
+
+    def test_midpoint_average(self):
+        img = np.array([[0.0, 1.0]])
+        assert sample_bilinear(img, np.array([0.5]), np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_out_of_bounds_fill(self, gradient_image):
+        out = sample_bilinear(
+            gradient_image, np.array([-0.5, 11.5]), np.array([0.0, 0.0]), fill=9.0
+        )
+        assert np.allclose(out, 9.0)
+
+    def test_color_image_shape(self):
+        img = np.random.default_rng(1).random((6, 7, 3))
+        out = sample_bilinear(img, np.array([1.5, 2.5]), np.array([3.5, 0.5]))
+        assert out.shape == (2, 3)
+
+    def test_grid_of_points(self):
+        img = np.random.default_rng(2).random((6, 7))
+        xs = np.array([[0.0, 1.0], [2.0, 3.0]])
+        ys = np.zeros((2, 2))
+        out = sample_bilinear(img, xs, ys)
+        assert out.shape == (2, 2)
+        assert np.allclose(out, img[0, :4].reshape(2, 2))
+
+    def test_matches_nearest_at_integers(self):
+        img = np.random.default_rng(3).random((6, 7))
+        xs = np.array([0.0, 3.0, 6.0])
+        ys = np.array([5.0, 2.0, 0.0])
+        assert np.allclose(sample_bilinear(img, xs, ys), sample_nearest(img, xs, ys))

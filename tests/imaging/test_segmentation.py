@@ -1,0 +1,65 @@
+"""Connected-component labeling and statistics."""
+
+import numpy as np
+
+from repro.imaging.segmentation import component_stats, connected_components
+
+
+class TestLabeling:
+    def test_empty_mask(self):
+        labels, count = connected_components(np.zeros((5, 5), dtype=bool))
+        assert count == 0
+        assert component_stats(labels, count) == []
+
+    def test_single_block(self):
+        mask = np.zeros((10, 10), dtype=bool)
+        mask[2:5, 3:7] = True
+        labels, count = connected_components(mask)
+        assert count == 1
+        (comp,) = component_stats(labels, count)
+        assert comp.area == 12
+        assert comp.bbox == (3, 2, 6, 4)
+        assert comp.centroid == (4.5, 3.0)
+        assert comp.width == 4 and comp.height == 3
+        assert comp.fill_ratio == 1.0
+
+    def test_two_separate_blocks(self):
+        mask = np.zeros((10, 10), dtype=bool)
+        mask[1:3, 1:3] = True
+        mask[6:9, 6:9] = True
+        labels, count = connected_components(mask)
+        assert count == 2
+        comps = component_stats(labels, count)
+        areas = sorted(c.area for c in comps)
+        assert areas == [4, 9]
+
+    def test_diagonal_touch_is_connected(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[0, 0] = mask[1, 1] = True
+        __, count = connected_components(mask)
+        assert count == 1  # 8-connectivity
+
+    def test_area_filters(self):
+        mask = np.zeros((10, 10), dtype=bool)
+        mask[0, 0] = True  # area 1
+        mask[5:8, 5:8] = True  # area 9
+        labels, count = connected_components(mask)
+        comps = component_stats(labels, count, min_area=2)
+        assert len(comps) == 1 and comps[0].area == 9
+        comps = component_stats(labels, count, min_area=1, max_area=5)
+        assert len(comps) == 1 and comps[0].area == 1
+
+    def test_aspect_of_elongated_component(self):
+        mask = np.zeros((10, 20), dtype=bool)
+        mask[4, 2:18] = True
+        labels, count = connected_components(mask)
+        (comp,) = component_stats(labels, count)
+        assert comp.aspect == 16.0
+
+    def test_fill_ratio_of_ring(self):
+        mask = np.zeros((10, 10), dtype=bool)
+        mask[2:8, 2:8] = True
+        mask[4:6, 4:6] = False
+        labels, count = connected_components(mask)
+        (comp,) = component_stats(labels, count)
+        assert comp.fill_ratio == (36 - 4) / 36

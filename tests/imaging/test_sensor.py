@@ -1,0 +1,116 @@
+"""Camera color pipeline: YCbCr, chroma subsampling, white balance."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.sensor import (
+    CameraPipeline,
+    chroma_subsample,
+    quantize_8bit,
+    rgb_to_ycbcr,
+    white_balance_shift,
+    ycbcr_to_rgb,
+)
+
+
+class TestYCbCr:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        rgb = rng.random((16, 16, 3))
+        assert np.allclose(ycbcr_to_rgb(rgb_to_ycbcr(rgb)), rgb, atol=1e-9)
+
+    def test_grey_has_zero_chroma(self):
+        grey = np.full((4, 4, 3), 0.6)
+        ycc = rgb_to_ycbcr(grey)
+        assert np.allclose(ycc[..., 0], 0.6)
+        assert np.allclose(ycc[..., 1:], 0.0)
+
+    def test_luma_matches_rec601(self):
+        red = np.zeros((1, 1, 3))
+        red[0, 0, 0] = 1.0
+        assert rgb_to_ycbcr(red)[0, 0, 0] == pytest.approx(0.299)
+
+
+class TestChromaSubsample:
+    def test_luma_nearly_untouched(self):
+        # Exact up to gamut clipping: blurred chroma + original luma can
+        # land slightly outside [0,1] RGB and get clipped back.
+        rng = np.random.default_rng(1)
+        img = rng.random((32, 32, 3))
+        out = chroma_subsample(img, factor=2, chroma_blur=0.7)
+        diff = np.abs(rgb_to_ycbcr(out)[..., 0] - rgb_to_ycbcr(img)[..., 0])
+        assert np.median(diff) < 1e-6
+        assert diff.max() < 0.05
+
+    def test_uniform_color_unchanged(self):
+        img = np.tile(np.array([0.9, 0.2, 0.1]), (16, 16, 1))
+        out = chroma_subsample(img, factor=2)
+        assert np.allclose(out, img, atol=1e-6)
+
+    def test_color_edges_bleed(self):
+        # Red | green boundary: after subsampling, colors mix at the edge.
+        img = np.zeros((16, 16, 3))
+        img[:, :8, 0] = 1.0
+        img[:, 8:, 1] = 1.0
+        out = chroma_subsample(img, factor=2, chroma_blur=0.7)
+        edge = out[8, 7:9]
+        assert edge[:, 0].min() < 0.95  # red weakened at the boundary
+        # Centers of each half stay pure-ish.
+        assert out[8, 2, 0] > 0.9 and out[8, 13, 1] > 0.9
+
+    def test_factor_one_no_blur_is_identity(self):
+        rng = np.random.default_rng(2)
+        img = rng.random((8, 8, 3))
+        assert np.allclose(chroma_subsample(img, factor=1, chroma_blur=0.0), img, atol=1e-9)
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            chroma_subsample(np.zeros((4, 4, 3)), factor=0)
+
+
+class TestWhiteBalanceAndQuantize:
+    def test_gain_application(self):
+        img = np.full((2, 2, 3), 0.5)
+        out = white_balance_shift(img, (1.1, 1.0, 0.9))
+        assert np.allclose(out[0, 0], [0.55, 0.5, 0.45])
+
+    def test_gains_clip(self):
+        img = np.ones((2, 2, 3))
+        assert white_balance_shift(img, (1.2, 1.0, 1.0)).max() == 1.0
+
+    def test_quantize_levels(self):
+        img = np.array([[[0.5001, 0.5001, 0.5001]]])
+        out = quantize_8bit(img)
+        assert out[0, 0, 0] == pytest.approx(128 / 255)
+
+    def test_quantize_idempotent(self):
+        rng = np.random.default_rng(3)
+        img = rng.random((8, 8, 3))
+        once = quantize_8bit(img)
+        assert np.array_equal(quantize_8bit(once), once)
+
+
+class TestCameraPipeline:
+    def test_gains_deterministic_per_rng(self):
+        p = CameraPipeline(wb_error=0.05)
+        g1 = p.sample_gains(np.random.default_rng(9))
+        g2 = p.sample_gains(np.random.default_rng(9))
+        assert g1 == g2
+        assert all(0.95 <= g <= 1.05 for g in g1)
+
+    def test_zero_error_unit_gains(self):
+        p = CameraPipeline(wb_error=0.0)
+        assert p.sample_gains(np.random.default_rng(0)) == (1.0, 1.0, 1.0)
+
+    def test_apply_subtle_on_block_images(self):
+        # On barcode-like images (uniform 8-px blocks) the pipeline only
+        # perturbs block *edges*; centers stay close to the original.
+        rng = np.random.default_rng(4)
+        blocks = rng.integers(0, 2, (4, 4, 3)).astype(np.float64)
+        img = np.kron(blocks, np.ones((8, 8, 1)))
+        p = CameraPipeline()
+        out = p.apply(img, (1.02, 1.0, 0.98))
+        assert out.shape == img.shape
+        assert not np.array_equal(out, img)
+        centers = np.abs(out[4::8, 4::8] - img[4::8, 4::8])
+        assert centers.mean() < 0.05

@@ -1,0 +1,121 @@
+"""The benchmark harness: workloads, trial runner, reporting."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    TRIAL_HEADERS,
+    TrialResult,
+    audio_payload,
+    average_trials,
+    default_codec,
+    format_series,
+    format_table,
+    image_payload,
+    layout_for_block_size,
+    paper_link_config,
+    random_payload,
+    run_rainbar_trial,
+    text_payload,
+    trial_row,
+)
+from repro.channel.mobility import tripod
+
+
+class TestWorkloads:
+    def test_random_payload_deterministic(self):
+        assert random_payload(64, seed=5) == random_payload(64, seed=5)
+        assert random_payload(64, seed=5) != random_payload(64, seed=6)
+
+    def test_text_payload_size_and_content(self):
+        text = text_payload(500)
+        assert len(text) == 500
+        text.decode()  # valid ASCII
+
+    def test_image_payload_shape(self):
+        img = image_payload(width=32, height=20)
+        assert len(img) == 32 * 20
+
+    def test_audio_payload_pcm16(self):
+        pcm = audio_payload(num_samples=100)
+        assert len(pcm) == 200
+        arr = np.frombuffer(pcm, dtype="<i2")
+        assert np.abs(arr).max() <= 32767
+
+    def test_layout_for_block_size_fills_screen(self):
+        for block in (6, 8, 12, 16):
+            layout = layout_for_block_size(block)
+            assert layout.grid_cols * block <= 720
+            assert (layout.grid_cols + 1) * block > 720 or layout.grid_cols == 44
+
+    def test_default_codec(self):
+        cfg = default_codec(display_rate=14, block_px=10)
+        assert cfg.display_rate == 14
+        assert cfg.layout.block_px == 10
+
+
+class TestTrialRunner:
+    def test_clean_trial_metrics(self):
+        trial = run_rainbar_trial(
+            default_codec(),
+            paper_link_config(mobility=tripod()),
+            num_frames=2,
+            seed=1,
+            measure_raw_symbols=True,
+        )
+        assert trial.frames_total == 2
+        assert trial.decoding_rate == pytest.approx(1.0)
+        assert trial.error_rate == pytest.approx(0.0)
+        assert trial.throughput_bps > 0
+        assert trial.raw_symbols_total > 0
+        assert trial.raw_symbol_error_rate <= 0.01
+        assert trial.display_time_s == pytest.approx(0.2)
+
+    def test_trial_deterministic(self):
+        kwargs = dict(num_frames=1, seed=3)
+        a = run_rainbar_trial(default_codec(), paper_link_config(), **kwargs)
+        b = run_rainbar_trial(default_codec(), paper_link_config(), **kwargs)
+        assert a.correct_payload_bytes == b.correct_payload_bytes
+        assert a.captures == b.captures
+
+    def test_average_pools_counters(self):
+        t1 = TrialResult(system="x", frames_total=2, frames_decoded=2,
+                         correct_payload_bytes=100, total_payload_bytes=100,
+                         display_time_s=1.0)
+        t2 = TrialResult(system="x", frames_total=2, frames_decoded=0,
+                         correct_payload_bytes=0, total_payload_bytes=100,
+                         display_time_s=1.0)
+        agg = average_trials([t1, t2])
+        assert agg.decoding_rate == pytest.approx(0.5)
+        assert agg.frame_decode_rate == pytest.approx(0.5)
+        assert agg.throughput_bps == pytest.approx(8 * 100 / 2.0)
+
+    def test_average_requires_trials(self):
+        with pytest.raises(ValueError):
+            average_trials([])
+
+    def test_zero_division_guards(self):
+        empty = TrialResult(system="x", frames_total=0)
+        assert empty.decoding_rate == 0.0
+        assert empty.frame_decode_rate == 0.0
+        assert empty.throughput_bps == 0.0
+        assert empty.raw_symbol_error_rate == 0.0
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "long_header"], [[1, 2.5], [10, 0.123]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "long_header" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_series(self):
+        out = format_series("x", [1, 2], {"s1": [0.1, 0.2], "s2": [0.3, 0.4]})
+        assert "s1" in out and "s2" in out
+        assert "0.300" in out
+
+    def test_trial_row_matches_headers(self):
+        trial = TrialResult(system="x", frames_total=1)
+        row = trial_row("label", trial)
+        assert len(row) == len(TRIAL_HEADERS)

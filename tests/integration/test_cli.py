@@ -1,0 +1,61 @@
+"""The command-line interface, end to end."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestCapacity:
+    def test_prints_table(self, capsys):
+        assert main(["capacity"]) == 0
+        out = capsys.readouterr().out
+        assert "11520" in out and "10857" in out
+
+
+class TestEncodeInfo:
+    def test_encode_and_info(self, tmp_path, capsys):
+        src = tmp_path / "data.bin"
+        src.write_bytes(bytes(range(256)) * 2)
+        stream = tmp_path / "stream.npz"
+        assert main(["encode", str(src), "-o", str(stream)]) == 0
+        assert stream.exists()
+        assert main(["info", str(stream)]) == 0
+        out = capsys.readouterr().out
+        assert "frames" in out
+
+    def test_encode_with_pngs(self, tmp_path):
+        src = tmp_path / "msg.txt"
+        src.write_bytes(b"png export")
+        stream = tmp_path / "s.npz"
+        png_dir = tmp_path / "pngs"
+        assert main(
+            ["encode", str(src), "-o", str(stream), "--png-dir", str(png_dir)]
+        ) == 0
+        assert any(png_dir.glob("frame_*.png"))
+
+
+class TestSimulateDecode:
+    def test_simulate_roundtrip(self, tmp_path, capsys):
+        session = tmp_path / "session.npz"
+        rc = main(
+            [
+                "simulate",
+                "--message", "cli end to end",
+                "--save-session", str(session),
+                "--seed", "3",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert session.exists()
+
+        # Decode the archived session back to the message bytes.
+        out_file = tmp_path / "recovered.bin"
+        rc = main(["decode", str(session), "-o", str(out_file)])
+        assert rc == 0
+        assert out_file.read_bytes()[: len(b"cli end to end")] == b"cli end to end"
+
+    def test_simulate_angled(self, capsys):
+        assert main(["simulate", "--angle-deg", "20", "--seed", "1"]) == 0

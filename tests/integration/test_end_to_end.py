@@ -1,0 +1,159 @@
+"""Full-stack integration: encode -> channel -> decode under the paper's
+operating regimes."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DecodeError,
+    FrameCodecConfig,
+    FrameDecoder,
+    FrameEncoder,
+    FrameSchedule,
+    LinkConfig,
+    ScreenCameraLink,
+    StreamReassembler,
+)
+from repro.channel import handheld, outdoor, tripod
+
+
+def transmit(
+    num_frames=3,
+    display_rate=10,
+    link_kwargs=None,
+    brightness=1.0,
+    seed=1,
+    decoder_kwargs=None,
+):
+    cfg = FrameCodecConfig(display_rate=display_rate)
+    enc = FrameEncoder(cfg)
+    rng = np.random.default_rng(42)
+    payloads = [
+        bytes(rng.integers(0, 256, cfg.payload_bytes_per_frame, dtype=np.uint8))
+        for __ in range(num_frames)
+    ]
+    frames = [enc.encode_frame(p, sequence=i) for i, p in enumerate(payloads)]
+    sched = FrameSchedule(
+        [f.render() for f in frames], display_rate=display_rate, brightness=brightness
+    )
+    link = ScreenCameraLink(
+        LinkConfig(**(link_kwargs or {})), rng=np.random.default_rng(seed)
+    )
+    dec = FrameDecoder(cfg, **(decoder_kwargs or {}))
+    reasm = StreamReassembler(cfg)
+    results, dropped = [], 0
+    for cap in link.capture_stream(sched):
+        try:
+            ext = dec.extract(cap.image)
+        except DecodeError:
+            dropped += 1
+            continue
+        results.extend(reasm.add_capture(ext))
+    results.extend(reasm.flush())
+    decoded = {
+        r.sequence: r
+        for r in results
+        if r.ok and r.sequence < num_frames and r.payload == payloads[r.sequence]
+    }
+    return len(decoded), num_frames, dropped
+
+
+class TestOperatingRegimes:
+    def test_default_condition(self):
+        ok, total, __ = transmit()
+        assert ok == total
+
+    def test_blur_assessment_regime(self):
+        """f_d = 10 <= f_c / 2: every frame captured at least twice."""
+        ok, total, __ = transmit(display_rate=10)
+        assert ok == total
+
+    def test_rolling_shutter_regime_16(self):
+        """f_d > f_c / 2: captures mix frames; tracking bars recover them."""
+        ok, total, __ = transmit(display_rate=16, num_frames=4)
+        assert ok == total
+
+    def test_rolling_shutter_regime_20(self):
+        # At f_d = 20 the first frame of a stream may miss its bottom
+        # rows (nothing was captured before t = 0); interior frames must
+        # all reassemble.
+        ok, total, __ = transmit(display_rate=20, num_frames=4)
+        assert ok >= total - 1
+
+    @pytest.mark.parametrize("angle", [15, 30])
+    def test_view_angles(self, angle):
+        ok, total, __ = transmit(link_kwargs={"view_angle_deg": angle})
+        assert ok == total
+
+    def test_extreme_view_angle_mostly_decodes(self):
+        # At 40 deg the paper's own error rate climbs steeply; require
+        # most frames through rather than all.
+        ok, total, __ = transmit(link_kwargs={"view_angle_deg": 40.0})
+        assert ok >= total - 1
+
+    @pytest.mark.parametrize("distance", [9.0, 16.0, 20.0])
+    def test_distances(self, distance):
+        ok, total, __ = transmit(link_kwargs={"distance_cm": distance})
+        assert ok == total
+
+    def test_outdoor(self):
+        ok, total, __ = transmit(link_kwargs={"environment": outdoor()})
+        assert ok == total
+
+    def test_low_brightness(self):
+        ok, total, __ = transmit(brightness=0.4)
+        assert ok == total
+
+    def test_handheld(self):
+        ok, total, __ = transmit(link_kwargs={"mobility": handheld()})
+        assert ok == total
+
+    def test_combined_stress_degrades_not_crashes(self):
+        """Far + angled + outdoor + shaky: decoding may fail, but the
+        pipeline must degrade gracefully (no exceptions, sane counters)."""
+        ok, total, dropped = transmit(
+            link_kwargs={
+                "distance_cm": 20.0,
+                "view_angle_deg": 35.0,
+                "environment": outdoor(),
+                "mobility": handheld(),
+            }
+        )
+        assert 0 <= ok <= total
+        assert dropped >= 0
+
+
+class TestCrossSystemComparisons:
+    """The paper's headline qualitative claims, verified end-to-end."""
+
+    def test_rainbar_beats_cobra_under_perspective(self):
+        from repro.bench import paper_link_config, run_cobra_trial, run_rainbar_trial
+        from repro.baselines.cobra import CobraConfig, CobraLayout
+        from repro.bench import default_codec
+
+        link = paper_link_config(view_angle_deg=25.0, mobility=tripod())
+        rb = run_rainbar_trial(default_codec(), link, num_frames=2, seed=3)
+        cb = run_cobra_trial(
+            CobraConfig(layout=CobraLayout(), display_rate=10), link, num_frames=2, seed=3
+        )
+        assert rb.decoding_rate > cb.decoding_rate
+
+    def test_rainbar_beats_cobra_beyond_half_capture_rate(self):
+        from repro.bench import paper_link_config, run_cobra_trial, run_rainbar_trial
+        from repro.baselines.cobra import CobraConfig, CobraLayout
+        from repro.bench import default_codec
+
+        link = paper_link_config(mobility=tripod())
+        # f_d = 24 on a 30 fps camera: most captures mix two frames.
+        rb = run_rainbar_trial(default_codec(display_rate=24), link, num_frames=4, seed=5)
+        cb = run_cobra_trial(
+            CobraConfig(layout=CobraLayout(), display_rate=24), link, num_frames=4, seed=5
+        )
+        assert rb.decoding_rate > cb.decoding_rate
+
+    def test_lightsync_has_half_throughput_headroom(self):
+        from repro.baselines import LightSyncConfig
+
+        ls = LightSyncConfig()
+        rb = FrameCodecConfig()
+        assert ls.payload_bytes_per_frame < 0.55 * rb.payload_bytes_per_frame

@@ -1,0 +1,111 @@
+"""Analytical models vs direct simulation of the same quantities."""
+
+import numpy as np
+import pytest
+
+from repro.bench.models import (
+    byte_error_probability,
+    clean_capture_probability,
+    expected_throughput_bps,
+    frame_delivery_probability_nosync,
+    frame_failure_probability,
+    retransmission_goodput_factor,
+    rs_chunk_failure_probability,
+)
+from repro.channel.camera import CameraTiming, compose_rolling_shutter
+from repro.channel.screen import FrameSchedule
+
+
+class TestCleanCaptureProbability:
+    def test_limits(self):
+        # Very slow display: almost every capture is clean.
+        assert clean_capture_probability(1, 30) > 0.96
+        # Display faster than 1/readout: clean captures impossible.
+        assert clean_capture_probability(40, 30, readout_fraction=0.9) == 0.0
+
+    def test_matches_rolling_shutter_simulation(self):
+        # Count clean composites over a dense phase sweep and compare.
+        f_d, f_c, frac = 20.0, 30.0, 0.9
+        images = [np.full((60, 40, 3), v) for v in np.linspace(0.1, 0.9, 12)]
+        sched = FrameSchedule(images, display_rate=f_d)
+        timing = CameraTiming(capture_rate=f_c, readout_fraction=frac, exposure_s=0.0)
+        clean = 0
+        phases = np.linspace(0.0, 1.0 / f_d, 200, endpoint=False)
+        for phase in phases:
+            out = compose_rolling_shutter(sched, timing, 0.15 + phase)
+            clean += int(len(np.unique(out[:, 0, 0])) == 1)
+        simulated = clean / len(phases)
+        predicted = clean_capture_probability(f_d, f_c, frac)
+        assert simulated == pytest.approx(predicted, abs=0.03)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            clean_capture_probability(0, 30)
+
+
+class TestFrameDelivery:
+    def test_below_half_rate_always_delivers(self):
+        assert frame_delivery_probability_nosync(10, 30) == 1.0
+        assert frame_delivery_probability_nosync(15, 30, readout_fraction=0.9) == 1.0
+
+    def test_collapse_beyond_readout_limit(self):
+        # At f_d = 30 on a 30 fps camera with 0.9 readout, the clean
+        # window is 1/300 s vs 1/30 s capture period: ~10 % delivery.
+        p = frame_delivery_probability_nosync(30, 30, readout_fraction=0.9)
+        assert p == pytest.approx(0.1, abs=1e-9)
+
+    def test_monotone_decreasing_in_display_rate(self):
+        ps = [frame_delivery_probability_nosync(r, 30) for r in (10, 18, 24, 30)]
+        assert all(b <= a for a, b in zip(ps, ps[1:]))
+
+
+class TestRSModels:
+    def test_byte_error_probability(self):
+        assert byte_error_probability(0.0) == 0.0
+        assert byte_error_probability(1.0) == 1.0
+        assert byte_error_probability(0.01) == pytest.approx(1 - 0.99**4)
+
+    def test_chunk_failure_matches_monte_carlo(self):
+        rng = np.random.default_rng(0)
+        n, k, p = 32, 24, 0.05
+        t = (n - k) // 2
+        trials = 20000
+        errors = rng.random((trials, n)) < p
+        failures = (errors.sum(axis=1) > t).mean()
+        assert rs_chunk_failure_probability(p, n, k) == pytest.approx(failures, abs=0.01)
+
+    def test_frame_failure_grows_with_chunks(self):
+        f1 = frame_failure_probability(0.01, 32, 24, chunks=1)
+        f13 = frame_failure_probability(0.01, 32, 24, chunks=13)
+        assert f13 > f1
+
+    def test_invalid_code(self):
+        with pytest.raises(ValueError):
+            rs_chunk_failure_probability(0.1, 24, 24)
+
+
+class TestProtocolModels:
+    def test_goodput_factor(self):
+        assert retransmission_goodput_factor(0.0) == 1.0
+        assert retransmission_goodput_factor(0.5) == 0.5
+
+    def test_expected_throughput(self):
+        assert expected_throughput_bps(310, 10, 1.0) == pytest.approx(24800)
+        assert expected_throughput_bps(310, 10, 0.5) == pytest.approx(12400)
+
+    def test_cobra_collapse_prediction(self):
+        """The model reproduces the Fig. 11(b) shape: COBRA's expected
+        throughput peaks near f_c/2 and falls beyond it, while a synced
+        receiver's keeps rising."""
+        payload = 300
+        rates = [10, 14, 18, 22, 26, 30]
+        cobra = [
+            expected_throughput_bps(
+                payload, r, frame_delivery_probability_nosync(r, 30)
+            )
+            for r in rates
+        ]
+        rainbar = [expected_throughput_bps(payload, r, 1.0) for r in rates]
+        assert max(cobra) == cobra[rates.index(14)] or max(cobra) == cobra[rates.index(18)]
+        assert cobra[-1] < max(cobra)
+        assert all(b > a for a, b in zip(rainbar, rainbar[1:]))

@@ -1,0 +1,79 @@
+"""Section V application case studies as integration tests."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ApplicationType,
+    FeedbackChannel,
+    FileTransfer,
+    FrameCodecConfig,
+    LinkConfig,
+    TransferSession,
+)
+from repro.bench import audio_payload, image_payload, text_payload
+from repro.channel import tripod
+
+
+@pytest.fixture(scope="module")
+def codec():
+    return FrameCodecConfig(display_rate=10)
+
+
+@pytest.fixture()
+def clean_link():
+    return LinkConfig(mobility=tripod())
+
+
+class TestTextFileTransfer:
+    """The paper's case study: text needs bit-exact delivery."""
+
+    def test_text_roundtrip(self, codec, clean_link):
+        session = TransferSession(codec, clean_link, rng=np.random.default_rng(0))
+        text = text_payload(3000)
+        result = FileTransfer(session).send(text, ApplicationType.TEXT)
+        assert result.ok
+        assert result.data == text
+
+    def test_compression_reduces_frames(self, codec, clean_link):
+        text = text_payload(4000)
+        session = TransferSession(codec, clean_link, rng=np.random.default_rng(1))
+        result = FileTransfer(session).send(text, ApplicationType.TEXT)
+        uncompressed_frames = -(-len(text) // codec.payload_bytes_per_frame)
+        assert result.stats.frames_total < uncompressed_frames
+
+
+class TestImageTransfer:
+    def test_image_roundtrip(self, codec, clean_link):
+        session = TransferSession(codec, clean_link, rng=np.random.default_rng(2))
+        img = image_payload(width=48, height=32)
+        result = FileTransfer(session).send(img, ApplicationType.IMAGE, image_width=48)
+        assert result.ok
+        assert result.data == img
+
+
+class TestAudioTransfer:
+    def test_audio_roundtrip_lossy_but_close(self, codec, clean_link):
+        session = TransferSession(codec, clean_link, rng=np.random.default_rng(3))
+        pcm = audio_payload(num_samples=2000)
+        result = FileTransfer(session).send(pcm, ApplicationType.AUDIO)
+        assert result.ok
+        sent = np.frombuffer(pcm, dtype="<i2").astype(np.float64)
+        got = np.frombuffer(result.data, dtype="<i2").astype(np.float64)
+        snr = 10 * np.log10(np.mean(sent**2) / np.mean((sent - got) ** 2))
+        assert snr > 25.0
+
+
+class TestRetransmission:
+    def test_lossy_feedback_still_delivers(self, codec, clean_link):
+        session = TransferSession(
+            codec,
+            clean_link,
+            feedback=FeedbackChannel(
+                loss_probability=0.5, rng=np.random.default_rng(4)
+            ),
+            rng=np.random.default_rng(5),
+        )
+        data = bytes(np.random.default_rng(6).integers(0, 256, 600, dtype=np.uint8))
+        result = FileTransfer(session).send(data, max_rounds=6)
+        assert result.ok and result.data == data

@@ -1,0 +1,110 @@
+"""Adaptive block sizing and payload reassembly."""
+
+import numpy as np
+import pytest
+
+from repro.core.decoder import FrameResult
+from repro.link.adaptive import AdaptiveConfigurator
+from repro.link.reassembly import PayloadAssembler
+
+
+class TestAdaptiveConfigurator:
+    def test_still_device_smallest_blocks(self):
+        cfg = AdaptiveConfigurator()
+        decision = cfg.decide(np.zeros(16))
+        assert decision.block_px == cfg.min_block_px
+
+    def test_shaky_device_largest_blocks(self):
+        cfg = AdaptiveConfigurator()
+        decision = cfg.decide(np.full(16, 10.0))
+        assert decision.block_px == cfg.max_block_px
+
+    def test_monotone_in_mobility(self):
+        cfg = AdaptiveConfigurator()
+        sizes = [cfg.decide(np.full(8, s)).block_px for s in (0.0, 1.5, 2.5, 3.5, 5.0)]
+        assert sizes == sorted(sizes)
+
+    def test_layout_fills_the_screen(self):
+        cfg = AdaptiveConfigurator()
+        decision = cfg.decide(np.full(8, 2.0))
+        assert decision.layout.block_px == decision.block_px
+        assert decision.layout.grid_cols == 720 // decision.block_px
+
+    def test_larger_blocks_cost_capacity(self):
+        cfg = AdaptiveConfigurator()
+        still = cfg.decide(np.zeros(8)).layout
+        shaky = cfg.decide(np.full(8, 10.0)).layout
+        assert shaky.data_capacity_bytes < still.data_capacity_bytes
+
+    def test_too_narrow_screen_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveConfigurator(screen_px=(200, 300))
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveConfigurator().decide(np.array([]))
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(ValueError):
+            AdaptiveConfigurator(low_threshold=5.0, high_threshold=1.0)
+        with pytest.raises(ValueError):
+            AdaptiveConfigurator(min_block_px=20, max_block_px=10)
+
+
+def ok_frame(seq, payload=b"x", last=False):
+    return FrameResult(sequence=seq, ok=True, payload=payload, is_last=last)
+
+
+def bad_frame(seq):
+    return FrameResult(sequence=seq, ok=False, payload=b"", failure="nope")
+
+
+class TestPayloadAssembler:
+    def test_in_order_completion(self):
+        asm = PayloadAssembler()
+        asm.add_all([ok_frame(0, b"ab"), ok_frame(1, b"cd"), ok_frame(2, b"ef", last=True)])
+        assert asm.complete
+        assert asm.payload() == b"abcdef"
+
+    def test_out_of_order(self):
+        asm = PayloadAssembler()
+        asm.add(ok_frame(2, b"ef", last=True))
+        asm.add(ok_frame(0, b"ab"))
+        assert not asm.complete
+        assert asm.missing() == [1]
+        asm.add(ok_frame(1, b"cd"))
+        assert asm.complete
+        assert asm.payload() == b"abcdef"
+
+    def test_failed_frames_ignored(self):
+        asm = PayloadAssembler()
+        asm.add(bad_frame(0))
+        asm.add(ok_frame(1, b"cd", last=True))
+        assert asm.missing() == [0]
+        assert not asm.complete
+
+    def test_duplicates_keep_first(self):
+        asm = PayloadAssembler()
+        asm.add(ok_frame(0, b"first", last=True))
+        asm.add(ok_frame(0, b"second", last=True))
+        assert asm.payload() == b"first"
+
+    def test_missing_before_last_seen(self):
+        asm = PayloadAssembler()
+        asm.add(ok_frame(3, b"d"))
+        assert asm.missing() == [0, 1, 2]
+        assert asm.expected_count is None
+
+    def test_empty(self):
+        asm = PayloadAssembler()
+        assert asm.missing() == []
+        assert not asm.complete
+        with pytest.raises(ValueError):
+            asm.payload()
+
+    def test_received_count(self):
+        asm = PayloadAssembler()
+        asm.add(ok_frame(0))
+        asm.add(ok_frame(1))
+        asm.add(bad_frame(2))
+        assert asm.received_count == 2

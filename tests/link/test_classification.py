@@ -1,0 +1,87 @@
+"""Application-type pre-processing and recovery."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.link.classification import (
+    ApplicationType,
+    RecoveryError,
+    preprocess,
+    recover,
+)
+
+
+class TestText:
+    @given(st.text(max_size=500))
+    def test_roundtrip(self, text):
+        data = text.encode()
+        assert recover(preprocess(data, ApplicationType.TEXT), ApplicationType.TEXT) == data
+
+    def test_compresses_natural_text(self):
+        data = ("the quick brown fox " * 100).encode()
+        assert len(preprocess(data, ApplicationType.TEXT)) < len(data) / 4
+
+    def test_corruption_detected(self):
+        wire = bytearray(preprocess(b"hello world " * 20, ApplicationType.TEXT))
+        wire[5] ^= 0xFF
+        with pytest.raises(RecoveryError):
+            recover(bytes(wire), ApplicationType.TEXT)
+
+
+class TestImage:
+    def test_roundtrip_with_width(self):
+        rng = np.random.default_rng(0)
+        img = rng.integers(0, 256, (20, 32), dtype=np.uint8).tobytes()
+        wire = preprocess(img, ApplicationType.IMAGE, image_width=32)
+        assert recover(wire, ApplicationType.IMAGE, image_width=32) == img
+
+    def test_roundtrip_flat(self):
+        data = bytes(range(100))
+        wire = preprocess(data, ApplicationType.IMAGE)
+        assert recover(wire, ApplicationType.IMAGE) == data
+
+    def test_delta_filter_helps_smooth_images(self):
+        ys, xs = np.mgrid[0:40, 0:64].astype(np.float64)
+        smooth = np.clip(128 + 60 * np.sin(xs / 10) + 40 * np.cos(ys / 8), 0, 255)
+        data = smooth.astype(np.uint8).tobytes()
+        with_delta = preprocess(data, ApplicationType.IMAGE, image_width=64)
+        without = preprocess(data, ApplicationType.IMAGE)
+        assert len(with_delta) < len(without)
+
+    def test_width_mismatch_falls_back(self):
+        data = bytes(100)  # not a multiple of 33
+        wire = preprocess(data, ApplicationType.IMAGE, image_width=33)
+        assert recover(wire, ApplicationType.IMAGE, image_width=33) == data
+
+
+class TestAudio:
+    def test_roundtrip_approximate(self):
+        t = np.linspace(0, 1, 2000)
+        pcm = (0.5 * np.sin(2 * np.pi * 440 * t) * 32767).astype("<i2")
+        data = pcm.tobytes()
+        wire = preprocess(data, ApplicationType.AUDIO)
+        out = np.frombuffer(recover(wire, ApplicationType.AUDIO), dtype="<i2")
+        # mu-law is lossy: verify SNR rather than equality.
+        noise = out.astype(np.float64) - pcm.astype(np.float64)
+        snr = 10 * np.log10(np.mean(pcm.astype(np.float64) ** 2) / np.mean(noise**2))
+        assert snr > 30.0
+
+    def test_halves_the_bitrate_before_entropy_coding(self):
+        rng = np.random.default_rng(1)
+        pcm = (rng.normal(0, 8000, 4000)).astype("<i2").tobytes()
+        wire = preprocess(pcm, ApplicationType.AUDIO)
+        assert len(wire) < len(pcm) * 0.6
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(ValueError):
+            preprocess(b"\x00" * 11, ApplicationType.AUDIO)
+
+
+class TestBinary:
+    @given(st.binary(max_size=300))
+    def test_passthrough(self, data):
+        wire = preprocess(data, ApplicationType.BINARY)
+        assert wire == data
+        assert recover(wire, ApplicationType.BINARY) == data

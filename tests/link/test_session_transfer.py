@@ -1,0 +1,119 @@
+"""Transfer sessions (retransmission) and typed file transfer."""
+
+import numpy as np
+import pytest
+
+from repro.channel.link import LinkConfig
+from repro.channel.mobility import tripod
+from repro.core.encoder import FrameCodecConfig
+from repro.link.classification import ApplicationType
+from repro.link.session import FeedbackChannel, TransferSession
+from repro.link.transfer import (
+    FileTransfer,
+    TransferError,
+    unwrap_payload,
+    wrap_payload,
+)
+
+
+@pytest.fixture(scope="module")
+def codec():
+    return FrameCodecConfig(display_rate=10)
+
+
+@pytest.fixture(scope="module")
+def good_link():
+    return LinkConfig(distance_cm=12.0, mobility=tripod())
+
+
+class TestWrapUnwrap:
+    def test_roundtrip_all_types(self):
+        vectors = {
+            ApplicationType.BINARY: bytes(range(256)),
+            ApplicationType.TEXT: b"hello barcode world " * 10,
+            ApplicationType.IMAGE: bytes(np.arange(640) % 256),
+        }
+        for app, data in vectors.items():
+            assert unwrap_payload(wrap_payload(data, app)) == data
+
+    def test_bad_magic(self):
+        wire = bytearray(wrap_payload(b"x", ApplicationType.BINARY))
+        wire[0] ^= 0xFF
+        with pytest.raises(TransferError):
+            unwrap_payload(bytes(wire))
+
+    def test_crc_mismatch(self):
+        wire = bytearray(wrap_payload(b"payload data", ApplicationType.BINARY))
+        wire[-6] ^= 0x01  # flip a body byte, CRC-32 trailer must catch it
+        with pytest.raises(TransferError):
+            unwrap_payload(bytes(wire))
+
+    def test_truncated(self):
+        with pytest.raises(TransferError):
+            unwrap_payload(b"RBar")
+
+
+class TestFeedbackChannel:
+    def test_ideal_delivery(self):
+        assert FeedbackChannel().deliver([1, 2, 3]) == [1, 2, 3]
+
+    def test_lossy_drops_sometimes(self):
+        fb = FeedbackChannel(loss_probability=0.5, rng=np.random.default_rng(0))
+        outcomes = {tuple(x) if x is not None else None for x in
+                    (fb.deliver([1]) for __ in range(50))}
+        assert None in outcomes and (1,) in outcomes
+
+
+class TestTransferSession:
+    def test_single_round_clean_channel(self, codec, good_link):
+        session = TransferSession(codec, good_link, rng=np.random.default_rng(1))
+        payload = bytes(np.arange(500) % 256)
+        received, stats = session.transmit(payload, max_rounds=3)
+        assert received == payload
+        assert stats.delivered
+        assert stats.rounds == 1
+        assert stats.retransmission_overhead == 0.0
+        assert stats.goodput_bps > 0
+
+    def test_goodput_zero_when_failed(self, codec):
+        # An impossible channel: camera too far to resolve blocks.
+        session = TransferSession(
+            codec, LinkConfig(distance_cm=60.0), rng=np.random.default_rng(2)
+        )
+        received, stats = session.transmit(b"data", max_rounds=1)
+        assert received is None
+        assert not stats.delivered
+        assert stats.goodput_bps == 0.0
+
+    def test_stats_accounting(self, codec, good_link):
+        session = TransferSession(codec, good_link, rng=np.random.default_rng(3))
+        payload = bytes(1000)
+        received, stats = session.transmit(payload)
+        assert stats.frames_total == -(-len(payload) // codec.payload_bytes_per_frame)
+        assert stats.frames_sent >= stats.frames_total
+        assert stats.captures > 0
+        assert stats.payload_bytes == len(payload)
+
+
+class TestFileTransfer:
+    def test_text_file(self, codec, good_link):
+        session = TransferSession(codec, good_link, rng=np.random.default_rng(4))
+        text = ("RainBar robust visual communication. " * 30).encode()
+        result = FileTransfer(session).send(text, ApplicationType.TEXT)
+        assert result.ok
+        assert result.data == text
+        assert result.compression_ratio > 3.0
+
+    def test_binary_file(self, codec, good_link):
+        session = TransferSession(codec, good_link, rng=np.random.default_rng(5))
+        data = bytes(np.random.default_rng(6).integers(0, 256, 700, dtype=np.uint8))
+        result = FileTransfer(session).send(data, ApplicationType.BINARY)
+        assert result.ok and result.data == data
+
+    def test_failed_delivery_reports_not_ok(self, codec):
+        session = TransferSession(
+            codec, LinkConfig(distance_cm=60.0), rng=np.random.default_rng(7)
+        )
+        result = FileTransfer(session).send(b"unreachable", max_rounds=1)
+        assert not result.ok
+        assert result.data is None
