@@ -10,6 +10,8 @@ This is the one benchmark where pytest-benchmark's timing is the
 artifact itself.
 """
 
+import os
+
 import numpy as np
 from sweeps import rainbar_config
 
@@ -62,3 +64,68 @@ def test_decode_time_per_frame(benchmark, record):
     )
     # Real-time decoding supports at least the paper's 12 fps bound.
     assert max_realtime_fps > 5.0
+
+
+def test_decode_stage_breakdown(record):
+    """Per-stage wall clock of one capture's decode (paper Table: the
+    receive pipeline cost is dominated by recognition, not geometry)."""
+    config, __, __, __, capture = _setup()
+    decoder = FrameDecoder(config)
+    decoder.extract(capture.image)  # warm the warp/coordinate caches
+
+    extraction = decoder.extract(capture.image)
+    stage_ms = extraction.diagnostics.stage_ms
+    assert stage_ms, "extract() should record per-stage timings"
+
+    rows = [[name, round(ms, 2)] for name, ms in stage_ms.items()]
+    rows.append(["total", round(sum(stage_ms.values()), 2)])
+    record(
+        "E10_decode_stages",
+        format_table(["stage", "ms"], rows,
+                     title="Section IV-D: decode stage breakdown"),
+    )
+
+
+def test_decode_stream_workers(record):
+    """decode_stream with 1 vs 4 workers, mirroring the paper's
+    single-thread vs 4-thread comparison (their sender draws with four
+    threads).  Results must agree exactly; the wall-clock ratio depends
+    on the host's core count and is recorded, not asserted."""
+    import time
+
+    config = rainbar_config(display_rate=10)
+    encoder = FrameEncoder(config)
+    payload = (np.arange(config.payload_bytes_per_frame) % 256).astype(np.uint8).tobytes()
+    images = [encoder.encode_frame(payload, sequence=i).render() for i in range(4)]
+    link = ScreenCameraLink(paper_link_config(), rng=np.random.default_rng(3))
+    captures = link.capture_stream(FrameSchedule(images, 10))
+
+    decoder = FrameDecoder(config)
+    decoder.decode_stream(captures, workers=1)  # warm caches
+
+    t0 = time.perf_counter()
+    serial = decoder.decode_stream(captures, workers=1)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    fanned = decoder.decode_stream(captures, workers=4)
+    fanned_s = time.perf_counter() - t0
+
+    assert len(serial) == len(fanned) == len(captures)
+    for a, b in zip(serial, fanned):
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert a.ok == b.ok and a.payload == b.payload
+
+    rows = [
+        ["captures decoded", len(captures)],
+        ["1 worker (s)", round(serial_s, 3)],
+        ["4 workers (s)", round(fanned_s, 3)],
+        ["speedup", round(serial_s / max(fanned_s, 1e-9), 2)],
+        ["host cpu count", os.cpu_count() or 1],
+    ]
+    record(
+        "E10_decode_workers",
+        format_table(["metric", "value"], rows,
+                     title="Section IV-D: parallel decode (1 vs 4 workers)"),
+    )

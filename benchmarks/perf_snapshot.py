@@ -1,0 +1,205 @@
+"""Machine-readable performance snapshot of the receive pipeline.
+
+Writes ``BENCH_decode.json`` with:
+
+* the per-stage decode breakdown of one capture (from
+  ``DecodeDiagnostics.stage_ms``),
+* end-to-end single-worker trial time (render -> capture -> decode),
+* a seed-sweep wall-clock comparison at 1 vs 4 workers, including a
+  check that the pooled counters are bit-identical, and
+* ``decode_stream`` timing at 1 vs 4 workers.
+
+Worker speedups depend on the host core count (recorded in the
+snapshot); on a single-core container the 4-worker numbers show process
+overhead rather than speedup, which is still worth recording honestly.
+
+Run from the repo root::
+
+    PYTHONPATH=src:benchmarks python benchmarks/perf_snapshot.py
+    PYTHONPATH=src:benchmarks python benchmarks/perf_snapshot.py --seeds 16 --frames 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from sweeps import rainbar_config, rainbar_point  # noqa: E402
+
+from repro.bench import paper_link_config, run_rainbar_trial  # noqa: E402
+from repro.channel import FrameSchedule, ScreenCameraLink  # noqa: E402
+from repro.core.decoder import FrameDecoder  # noqa: E402
+from repro.core.encoder import FrameEncoder  # noqa: E402
+
+
+def _best_of(n, fn):
+    best = float("inf")
+    for __ in range(n):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def stage_breakdown() -> dict:
+    """Per-stage decode milliseconds of one warm capture."""
+    config = rainbar_config(display_rate=10)
+    encoder = FrameEncoder(config)
+    payload = (np.arange(config.payload_bytes_per_frame) % 256).astype(np.uint8).tobytes()
+    image = encoder.encode_frame(payload, sequence=0).render()
+    link = ScreenCameraLink(paper_link_config(), rng=np.random.default_rng(3))
+    capture = link.capture_at(FrameSchedule([image], 10), 0.01)
+
+    decoder = FrameDecoder(config)
+    decoder.extract(capture.image)  # warm warp/coordinate caches
+    extraction = decoder.extract(capture.image)
+    stage_ms = {k: round(v, 3) for k, v in extraction.diagnostics.stage_ms.items()}
+    return {
+        "stage_ms": stage_ms,
+        "total_ms": round(sum(stage_ms.values()), 3),
+    }
+
+
+def single_worker_trial(num_frames: int, repeats: int) -> dict:
+    """End-to-end trial time: render -> capture -> decode, serial."""
+    config = rainbar_config(display_rate=10)
+    link = paper_link_config(view_angle_deg=15.0)
+    kwargs = dict(codec=config, link_config=link, num_frames=num_frames, seed=2)
+    run_rainbar_trial(**kwargs)  # warm
+    best = _best_of(repeats, lambda: run_rainbar_trial(**kwargs))
+    return {
+        "num_frames": num_frames,
+        "trial_ms": round(best * 1000, 1),
+        "per_frame_ms": round(best * 1000 / num_frames, 1),
+    }
+
+
+def sweep_comparison(seeds: list[int], num_frames: int) -> dict:
+    """One sweep point at 1 vs 4 workers; pooled counters must agree."""
+    kwargs = dict(num_frames=num_frames, view_angle_deg=15.0)
+
+    t0 = time.perf_counter()
+    serial = rainbar_point(seeds, workers=1, **kwargs)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    fanned = rainbar_point(seeds, workers=4, **kwargs)
+    fanned_s = time.perf_counter() - t0
+
+    return {
+        "seeds": len(seeds),
+        "num_frames": num_frames,
+        "serial_s": round(serial_s, 3),
+        "workers4_s": round(fanned_s, 3),
+        "speedup": round(serial_s / max(fanned_s, 1e-9), 2),
+        "bit_identical": dataclasses.asdict(serial) == dataclasses.asdict(fanned),
+    }
+
+
+def decode_stream_comparison(num_captures: int) -> dict:
+    """decode_stream over one capture burst at 1 vs 4 workers."""
+    config = rainbar_config(display_rate=10)
+    encoder = FrameEncoder(config)
+    payload = (np.arange(config.payload_bytes_per_frame) % 256).astype(np.uint8).tobytes()
+    images = [encoder.encode_frame(payload, sequence=i).render() for i in range(num_captures)]
+    link = ScreenCameraLink(paper_link_config(), rng=np.random.default_rng(3))
+    captures = link.capture_stream(FrameSchedule(images, 10))
+
+    decoder = FrameDecoder(config)
+    decoder.decode_stream(captures, workers=1)  # warm
+
+    serial_s = _best_of(1, lambda: decoder.decode_stream(captures, workers=1))
+    fanned_s = _best_of(1, lambda: decoder.decode_stream(captures, workers=4))
+    return {
+        "captures": len(captures),
+        "workers1_s": round(serial_s, 3),
+        "workers4_s": round(fanned_s, 3),
+        "speedup": round(serial_s / max(fanned_s, 1e-9), 2),
+    }
+
+
+def baseline_trial_ms(root: Path, num_frames: int, repeats: int) -> float:
+    """Time the same single-worker trial in another checkout (subprocess)."""
+    import subprocess
+
+    code = (
+        "import sys, time\n"
+        f"sys.path.insert(0, {str(root / 'src')!r})\n"
+        f"sys.path.insert(0, {str(root / 'benchmarks')!r})\n"
+        "from sweeps import rainbar_config\n"
+        "from repro.bench import paper_link_config, run_rainbar_trial\n"
+        "kwargs = dict(codec=rainbar_config(10),\n"
+        "              link_config=paper_link_config(view_angle_deg=15.0),\n"
+        f"              num_frames={num_frames}, seed=2)\n"
+        "run_rainbar_trial(**kwargs)\n"
+        "best = float('inf')\n"
+        f"for _ in range({repeats}):\n"
+        "    t0 = time.perf_counter(); run_rainbar_trial(**kwargs)\n"
+        "    best = min(best, time.perf_counter() - t0)\n"
+        "print(best * 1000)\n"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True, check=True
+    )
+    return float(out.stdout.strip().splitlines()[-1])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", type=int, default=16, help="seeds in the sweep comparison")
+    parser.add_argument("--frames", type=int, default=2, help="frames per trial")
+    parser.add_argument("--repeats", type=int, default=3, help="best-of repeats for timings")
+    parser.add_argument(
+        "--compare-root",
+        type=Path,
+        default=None,
+        help="another checkout of this repo to time the same trial against "
+        "(e.g. a pre-optimization worktree); records the speedup",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parents[1] / "BENCH_decode.json",
+        help="output JSON path",
+    )
+    args = parser.parse_args(argv)
+
+    snapshot = {
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count() or 1,
+        },
+        "decode_stages": stage_breakdown(),
+        "single_worker_trial": single_worker_trial(args.frames, args.repeats),
+        "sweep_1_vs_4_workers": sweep_comparison(list(range(1, args.seeds + 1)), args.frames),
+        "decode_stream_1_vs_4_workers": decode_stream_comparison(4),
+    }
+    if args.compare_root is not None:
+        base_ms = baseline_trial_ms(args.compare_root, args.frames, args.repeats)
+        here_ms = snapshot["single_worker_trial"]["trial_ms"]
+        snapshot["baseline_comparison"] = {
+            "baseline_root": str(args.compare_root),
+            "baseline_trial_ms": round(base_ms, 1),
+            "trial_ms": here_ms,
+            "speedup": round(base_ms / max(here_ms, 1e-9), 2),
+        }
+    args.out.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(json.dumps(snapshot, indent=2))
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,6 +1,15 @@
-"""Sweep helpers shared by the figure-reproduction benchmarks."""
+"""Sweep helpers shared by the figure-reproduction benchmarks.
+
+Every figure benchmark calls :func:`rainbar_point` / :func:`cobra_point`
+for each condition; both fan their per-seed trials across worker
+processes via :func:`repro.bench.run_trials_parallel` (serial unless
+``REPRO_WORKERS`` > 1), with results pooled in seed order so parallel
+and serial runs are bit-identical.
+"""
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.baselines.cobra import CobraConfig, CobraLayout
 from repro.bench import (
@@ -9,8 +18,18 @@ from repro.bench import (
     paper_link_config,
     run_cobra_trial,
     run_rainbar_trial,
+    run_trials_parallel,
 )
 from repro.core.encoder import FrameCodecConfig
+
+__all__ = [
+    "rainbar_config",
+    "cobra_config",
+    "rainbar_point",
+    "cobra_point",
+    "roughly_non_decreasing",
+    "roughly_non_increasing",
+]
 
 
 def rainbar_config(display_rate: int = 10, block_px: int = 12) -> FrameCodecConfig:
@@ -33,8 +52,6 @@ def _dispersed(link_kwargs: dict, seed: int) -> dict:
     in the seed), which is what turns threshold effects into the smooth
     averaged curves the paper plots.
     """
-    import numpy as np
-
     rng = np.random.default_rng(0xD15B + seed)
     out = dict(link_kwargs)
     out.setdefault("distance_cm", 12.0)
@@ -52,14 +69,15 @@ def rainbar_point(
     brightness=1.0,
     measure_raw=True,
     decoder_kwargs=None,
+    workers=None,
     **link_kwargs,
 ):
     """Pooled RainBar trial at one condition (with per-seed dispersion)."""
     cfg = rainbar_config(display_rate, block_px)
-    trials = [
-        run_rainbar_trial(
-            cfg,
-            paper_link_config(**_dispersed(link_kwargs, seed)),
+    jobs = [
+        dict(
+            codec=cfg,
+            link_config=paper_link_config(**_dispersed(link_kwargs, seed)),
             num_frames=num_frames,
             brightness=brightness,
             seed=seed,
@@ -68,7 +86,7 @@ def rainbar_point(
         )
         for seed in seeds
     ]
-    return average_trials(trials)
+    return average_trials(run_trials_parallel(run_rainbar_trial, jobs, workers=workers))
 
 
 def cobra_point(
@@ -77,21 +95,22 @@ def cobra_point(
     display_rate=10,
     block_px=12,
     brightness=1.0,
+    workers=None,
     **link_kwargs,
 ):
     """Pooled COBRA trial at one condition (with per-seed dispersion)."""
     cfg = cobra_config(display_rate, block_px)
-    trials = [
-        run_cobra_trial(
-            cfg,
-            paper_link_config(**_dispersed(link_kwargs, seed)),
+    jobs = [
+        dict(
+            codec=cfg,
+            link_config=paper_link_config(**_dispersed(link_kwargs, seed)),
             num_frames=num_frames,
             brightness=brightness,
             seed=seed,
         )
         for seed in seeds
     ]
-    return average_trials(trials)
+    return average_trials(run_trials_parallel(run_cobra_trial, jobs, workers=workers))
 
 
 def roughly_non_decreasing(values, slack=0.05) -> bool:

@@ -1,5 +1,6 @@
 """Shared benchmark harness: workloads, trial runner, reporting."""
 
+from .parallel import resolve_workers, run_trials_parallel, sweep
 from .models import (
     byte_error_probability,
     clean_capture_probability,
@@ -42,6 +43,9 @@ __all__ = [
     "run_cobra_trial",
     "run_lightsync_trial",
     "average_trials",
+    "resolve_workers",
+    "run_trials_parallel",
+    "sweep",
     "format_table",
     "format_series",
     "print_experiment_header",

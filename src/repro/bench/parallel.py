@@ -1,0 +1,105 @@
+"""Process-parallel trial execution.
+
+The paper's own receiver is compute-bound: Section IV-D reports decode
+time per frame for 1 vs 4 threads on the Galaxy S4.  Our benchmark
+suite has the same shape — every sweep point repeats the same trial
+over independent seeds — so the engine here fans those trials across a
+:class:`~concurrent.futures.ProcessPoolExecutor`:
+
+* **Determinism**: each job carries its own seed and RNG; jobs never
+  share state, and results return in job order, so pooling them with
+  :func:`repro.bench.runner.average_trials` is bit-identical to running
+  the same jobs serially.
+* **Worker resolution**: an explicit ``workers`` argument wins, then
+  the ``REPRO_WORKERS`` environment variable, then ``os.cpu_count()``.
+  ``workers <= 1`` (or a single job) falls back to plain in-process
+  execution with no pool, no pickling, no subprocesses.
+
+The job functions (``run_rainbar_trial`` etc.) and their kwargs must be
+picklable — true for every config dataclass in this repo.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
+
+if TYPE_CHECKING:
+    from .runner import TrialResult
+
+__all__ = ["resolve_workers", "run_trials_parallel", "sweep"]
+
+#: Environment variable read when ``workers`` is not given explicitly.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Number of worker processes to use.
+
+    Priority: explicit argument > ``REPRO_WORKERS`` env var >
+    ``os.cpu_count()``.  Always at least 1 (serial).
+    """
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV, "").strip()
+        if env:
+            try:
+                workers = int(env)
+            except ValueError as exc:
+                raise ValueError(f"{WORKERS_ENV} must be an integer, got {env!r}") from exc
+        else:
+            workers = os.cpu_count() or 1
+    return max(1, int(workers))
+
+
+def _call_job(job: tuple[Callable[..., Any], dict]) -> Any:
+    fn, kwargs = job
+    return fn(**kwargs)
+
+
+def run_trials_parallel(
+    trial_fn: Callable[..., "TrialResult"],
+    jobs: Sequence[dict],
+    *,
+    workers: int | None = None,
+) -> list["TrialResult"]:
+    """Run ``trial_fn(**kwargs)`` for every kwargs dict in *jobs*.
+
+    Results come back in job order regardless of completion order, so
+    ``average_trials(run_trials_parallel(...))`` pools exactly the same
+    counters as the serial loop it replaces.  With ``workers <= 1`` (or
+    one job) no pool is created at all.
+    """
+    job_list = [(trial_fn, dict(kwargs)) for kwargs in jobs]
+    workers = resolve_workers(workers)
+    if workers <= 1 or len(job_list) <= 1:
+        return [_call_job(job) for job in job_list]
+    with ProcessPoolExecutor(max_workers=min(workers, len(job_list))) as pool:
+        return list(pool.map(_call_job, job_list))
+
+
+def sweep(
+    trial_fn: Callable[..., "TrialResult"],
+    points: Iterable[Sequence[dict]],
+    *,
+    workers: int | None = None,
+) -> list["TrialResult"]:
+    """Run a whole sweep — many conditions x many seeds — on one pool.
+
+    *points* is an iterable of job lists, one list per sweep condition
+    (each job a kwargs dict for *trial_fn*).  Every (condition, seed)
+    job fans across the same pool, so a sweep with few seeds per point
+    still saturates the workers.  Returns one pooled
+    :class:`TrialResult` per condition, in order.
+    """
+    from .runner import average_trials
+
+    point_jobs = [list(jobs) for jobs in points]
+    flat = [job for jobs in point_jobs for job in jobs]
+    results = run_trials_parallel(trial_fn, flat, workers=workers)
+    pooled: list["TrialResult"] = []
+    cursor = 0
+    for jobs in point_jobs:
+        pooled.append(average_trials(results[cursor : cursor + len(jobs)]))
+        cursor += len(jobs)
+    return pooled

@@ -110,16 +110,20 @@ def compose_rolling_shutter(
             (end_times[crosses] - switch_time) / timing.exposure_s, 0.0, 1.0
         )
 
-    composite = np.empty(schedule.image_shape, dtype=np.float64)
     rows = np.arange(height)
     needed = np.unique(np.concatenate([idx_start, idx_end]))
-    emitted = {int(i): schedule.emitted_image(int(i)) for i in needed}
-    for i in needed:
-        img = emitted[int(i)]
-        pure = rows[(idx_start == i) & ~crosses]
-        composite[pure] = img[pure]
-    mixed = rows[crosses]
-    for r in mixed:
-        a = alpha[r]
-        composite[r] = (1.0 - a) * emitted[int(idx_start[r])][r] + a * emitted[int(idx_end[r])][r]
+    # Stack only the frames this capture actually sees (one or two in
+    # every real configuration) and gather each screen row from its
+    # frame in one advanced-indexing pass — no per-row Python loop.
+    stack = np.stack([schedule.emitted_image(int(i)) for i in needed])
+    pos_start = np.searchsorted(needed, idx_start)
+    pos_end = np.searchsorted(needed, idx_end)
+
+    composite = stack[pos_start, rows]
+    if np.any(crosses):
+        mixed = rows[crosses]
+        a = alpha[crosses].reshape((-1,) + (1,) * (composite.ndim - 1))
+        composite[mixed] = (1.0 - a) * stack[pos_start[mixed], mixed] + a * stack[
+            pos_end[mixed], mixed
+        ]
     return composite

@@ -9,7 +9,7 @@ camera model needs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -37,6 +37,13 @@ class FrameSchedule:
     images: list[np.ndarray]
     display_rate: float
     brightness: float = 1.0
+    #: Brightness-scaled emitted images, keyed by (index, brightness).
+    #: Every capture of a schedule re-reads the same one or two frames,
+    #: so the scale + clip pass runs once per frame instead of once per
+    #: capture.  Keying by brightness keeps the cache valid even if the
+    #: setting is mutated between captures; treat the image arrays
+    #: themselves as immutable once scheduled.
+    _emitted_cache: dict = field(default_factory=dict, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.images:
@@ -69,9 +76,18 @@ class FrameSchedule:
         return min(max(idx, 0), len(self.images) - 1)
 
     def emitted_image(self, index: int) -> np.ndarray:
-        """Frame *index* as physically emitted (brightness applied)."""
+        """Frame *index* as physically emitted (brightness applied).
+
+        The returned array is cached and shared between callers — do not
+        mutate it.
+        """
         index = min(max(index, 0), len(self.images) - 1)
-        return scale_brightness(self.images[index], self.brightness)
+        key = (index, self.brightness)
+        emitted = self._emitted_cache.get(key)
+        if emitted is None:
+            emitted = scale_brightness(self.images[index], self.brightness)
+            self._emitted_cache[key] = emitted
+        return emitted
 
     def switch_times(self) -> np.ndarray:
         """Times at which the displayed frame changes."""

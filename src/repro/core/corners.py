@@ -98,7 +98,7 @@ def detect_corner_trackers(
     the caller counts the capture as undecodable.
     """
     image = np.asarray(image, dtype=np.float64)
-    black_mask = classifier.classify_pixels(image) == int(Color.BLACK)
+    black_mask = classifier.black_mask(image)
     labels, count = connected_components(black_mask)
     min_area = max(1, int((0.5 * min_block_px) ** 2))
     max_area = int((2.0 * max_block_px) ** 2)

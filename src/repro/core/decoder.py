@@ -30,6 +30,7 @@ from .blocks import BlockLocalizer
 from .blur import sharpness_score
 from .brightness import DEFAULT_T_SAT, estimate_black_threshold
 from .corners import CornerDetectionError, detect_corner_trackers
+from .debug import StageTimer
 from .encoder import FrameCodecConfig
 from .header import HEADER_BYTES, FrameHeader, HeaderError
 from .layout import FrameLayout
@@ -66,6 +67,9 @@ class DecodeDiagnostics:
     locator_refinement: float  # fraction of locators that converged
     corner_purity: float
     sharpness: float
+    #: Wall-clock per pipeline stage in milliseconds (insertion order is
+    #: pipeline order); bench E10 reports this as the stage breakdown.
+    stage_ms: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -84,10 +88,10 @@ class CaptureExtraction:
     row_assignment: np.ndarray  # (grid_rows,)
     data_symbols: np.ndarray  # (num_data_cells,)
     diagnostics: DecodeDiagnostics
-    centers: np.ndarray = field(repr=False, default=None)  # (N, 2) data-cell centers
+    centers: np.ndarray | None = field(repr=False, default=None)  # (N, 2) data-cell centers
     #: Per-grid-row confidence in [0, 1]: rows adjacent to the rolling-
     #: shutter split are exposure-blended and should lose merge conflicts.
-    row_confidence: np.ndarray = field(default=None)
+    row_confidence: np.ndarray | None = field(default=None)
 
     @property
     def has_next_frame_rows(self) -> bool:
@@ -149,10 +153,12 @@ class FrameDecoder:
         Raises :exc:`DecodeError` when the capture is unusable (corner
         trackers or locator columns not found, header CRC failure).
         """
+        timer = StageTimer()
         image = np.asarray(image, dtype=np.float64)
         layout = self.config.layout
 
-        brightness = estimate_black_threshold(image)
+        with timer.stage("brightness"):
+            brightness = estimate_black_threshold(image)
         classifier = ColorClassifier(
             t_value=brightness.t_value,
             t_sat=self.t_sat,
@@ -160,29 +166,65 @@ class FrameDecoder:
             mode=self.classifier_mode,
         )
 
-        try:
-            corners = detect_corner_trackers(
-                image, classifier, self.min_block_px, self.max_block_px
-            )
-        except CornerDetectionError as exc:
-            raise DecodeError(str(exc)) from exc
+        with timer.stage("corners"):
+            try:
+                corners = detect_corner_trackers(
+                    image, classifier, self.min_block_px, self.max_block_px
+                )
+            except CornerDetectionError as exc:
+                raise DecodeError(str(exc)) from exc
 
-        localizer = self._localize(image, classifier, corners)
-        centers = localizer.cell_centers(layout.data_cells)
-        if not self.use_middle_locator:
-            centers = localizer.two_point_centers_naive(layout.data_cells)
+        with timer.stage("locators"):
+            localizer = self._localize(image, classifier, corners)
+            centers = localizer.cell_centers(layout.data_cells)
+            if not self.use_middle_locator:
+                centers = localizer.two_point_centers_naive(layout.data_cells)
 
-        header = self._read_header(image, classifier, localizer)
-        row_assignment = self._read_tracking_bars(image, classifier, localizer, header)
+        with timer.stage("classify"):
+            # One bilinear sampling fan + one HSV classification covers
+            # the header row, both tracking bars and every data cell
+            # (previously four separate fans per capture).
+            grid_rows = layout.grid_rows
+            header_centers = localizer.cell_centers(layout.header_cells)
+            segments = [header_centers]
+            if self.use_tracking_bars:
+                rows = np.arange(grid_rows)
+                segments.append(localizer.column_centers(rows, 0))
+                segments.append(localizer.column_centers(rows, layout.grid_cols - 1))
+            segments.append(centers)
+            symbols = _COLOR_TO_SYMBOL[
+                classifier.classify_centers(image, np.concatenate(segments))
+            ]
+            n_header = len(header_centers)
+            header_symbols = symbols[:n_header]
+            if self.use_tracking_bars:
+                left_sym = symbols[n_header : n_header + grid_rows]
+                right_sym = symbols[n_header + grid_rows : n_header + 2 * grid_rows]
+                data_symbols = symbols[n_header + 2 * grid_rows :]
+            else:
+                left_sym = right_sym = None
+                data_symbols = symbols[n_header:]
 
-        colors = classifier.classify_centers(image, centers)
-        data_symbols = _COLOR_TO_SYMBOL[colors]
-        # Rows whose tracking bars disagreed are erased outright.
-        bad_rows = np.flatnonzero(row_assignment < 0)
-        if bad_rows.size:
-            erased = np.isin(layout.symbol_rows, bad_rows)
-            data_symbols = np.where(erased, -1, data_symbols)
+        with timer.stage("header"):
+            header = self._parse_header(header_symbols)
 
+        with timer.stage("tracking"):
+            if self.use_tracking_bars:
+                row_assignment = _assign_rows(left_sym, right_sym, header.tracking_indicator)
+            else:
+                # Ablation A3: a receiver without frame synchronization
+                # assumes every captured row belongs to the header's
+                # frame — exactly what COBRA does, and what fails once
+                # f_d > f_c/2.
+                row_assignment = np.zeros(grid_rows, dtype=np.int64)
+            # Rows whose tracking bars disagreed are erased outright.
+            bad_rows = np.flatnonzero(row_assignment < 0)
+            if bad_rows.size:
+                erased = np.isin(layout.symbol_rows, bad_rows)
+                data_symbols = np.where(erased, -1, data_symbols)
+
+        with timer.stage("diagnostics"):
+            sharpness = sharpness_score(image)
         diagnostics = DecodeDiagnostics(
             t_value=brightness.t_value,
             block_size=corners.block_size,
@@ -193,15 +235,21 @@ class FrameDecoder:
             )
             / 3.0,
             corner_purity=min(corners.left.purity, corners.right.purity),
-            sharpness=sharpness_score(image),
+            sharpness=sharpness,
+            stage_ms=timer.as_ms(),
         )
         # Rows at the rolling-shutter split are exposure-blended: their
         # symbols are the least trustworthy of any capture that holds
         # them, so they carry reduced merge confidence.
         confidence = np.ones(layout.grid_rows)
         changed = np.flatnonzero(np.diff(row_assignment) != 0)
-        for idx in changed:
-            confidence[max(idx - 1, 0) : idx + 3] = 0.2
+        if changed.size:
+            positions = np.arange(layout.grid_rows)
+            near_split = (
+                (positions >= changed[:, np.newaxis] - 1)
+                & (positions <= changed[:, np.newaxis] + 2)
+            ).any(axis=0)
+            confidence[near_split] = 0.2
         confidence[row_assignment < 0] = 0.0
 
         return CaptureExtraction(
@@ -308,11 +356,8 @@ class FrameDecoder:
         except (np.linalg.LinAlgError, ValueError):
             return 0.5 * (np.array(corners.left.center) + np.array(corners.right.center))
 
-    def _read_header(self, image, classifier, localizer) -> FrameHeader:
-        layout = self.config.layout
-        centers = localizer.cell_centers(layout.header_cells)
-        colors = classifier.classify_centers(image, centers)
-        symbols = _COLOR_TO_SYMBOL[colors]
+    def _parse_header(self, symbols: np.ndarray) -> FrameHeader:
+        """Validate and unpack already-classified header-row symbols."""
         needed = HEADER_BYTES * 4
         if len(symbols) < needed:
             raise DecodeError("header row too short for the header format")
@@ -327,32 +372,81 @@ class FrameDecoder:
             raise DecodeError("header implausible: display rate 0")
         return header
 
+    def _read_header(self, image, classifier, localizer) -> FrameHeader:
+        layout = self.config.layout
+        centers = localizer.cell_centers(layout.header_cells)
+        colors = classifier.classify_centers(image, centers)
+        return self._parse_header(_COLOR_TO_SYMBOL[colors])
+
     def _read_tracking_bars(self, image, classifier, localizer, header) -> np.ndarray:
         """Per-row frame assignment from the left/right tracking bars."""
         layout = self.config.layout
-        rows = np.arange(layout.grid_rows)
         if not self.use_tracking_bars:
             # Ablation A3: a receiver without frame synchronization
             # assumes every captured row belongs to the header's frame —
             # exactly what COBRA does, and what fails once f_d > f_c/2.
             return np.zeros(layout.grid_rows, dtype=np.int64)
+        rows = np.arange(layout.grid_rows)
         left_centers = localizer.column_centers(rows, 0)
         right_centers = localizer.column_centers(rows, layout.grid_cols - 1)
         left_sym = _COLOR_TO_SYMBOL[classifier.classify_centers(image, left_centers)]
         right_sym = _COLOR_TO_SYMBOL[classifier.classify_centers(image, right_centers)]
+        return _assign_rows(left_sym, right_sym, header.tracking_indicator)
 
-        assignment = np.full(layout.grid_rows, -1, dtype=np.int64)
-        for r in rows:
-            ls, rs = int(left_sym[r]), int(right_sym[r])
-            if ls >= 0 and rs >= 0 and ls != rs:
-                continue  # bars disagree: leave erased
-            indicator = ls if ls >= 0 else rs
-            if indicator < 0:
-                continue
-            d_t = tracking_bar_difference(indicator, header.tracking_indicator)
-            if d_t <= 1:
-                assignment[r] = d_t
-        return assignment
+    # -- batch decoding ----------------------------------------------------
+
+    def decode_stream(
+        self, captures, workers: int | None = None
+    ) -> list[FrameResult | None]:
+        """Decode a batch of captures, optionally fanning across processes.
+
+        *captures* is a sequence of capture images (or objects with an
+        ``image`` attribute, e.g. :class:`repro.channel.link.Capture`).
+        Entries whose capture is undecodable (:exc:`DecodeError`) come
+        back as ``None``; order matches the input.  ``workers`` follows
+        the ``REPRO_WORKERS`` convention of
+        :mod:`repro.bench.parallel` — ``None`` reads the environment,
+        ``1`` decodes serially in-process, and ``N > 1`` fans captures
+        over a process pool, the paper's 1-vs-4-threads comparison
+        (Section IV-D).
+        """
+        from ..bench.parallel import resolve_workers
+
+        images = [getattr(c, "image", c) for c in captures]
+        workers = resolve_workers(workers)
+        if workers <= 1 or len(images) <= 1:
+            return [_decode_one_or_none(self, image) for image in images]
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(workers, len(images))) as pool:
+            return list(pool.map(_decode_one_or_none, [self] * len(images), images))
+
+
+def _assign_rows(
+    left_sym: np.ndarray, right_sym: np.ndarray, frame_indicator: int
+) -> np.ndarray:
+    """Vectorized per-row frame assignment from classified bar symbols.
+
+    Mirrors the paper's rule row by row: bars that both read but
+    disagree erase the row (-1); otherwise the readable bar's cyclic
+    distance d_t to the header's indicator assigns the row to the
+    current frame (0) or the next (1), and d_t >= 2 erases it.
+    """
+    left_sym = np.asarray(left_sym, dtype=np.int64)
+    right_sym = np.asarray(right_sym, dtype=np.int64)
+    disagree = (left_sym >= 0) & (right_sym >= 0) & (left_sym != right_sym)
+    indicator = np.where(left_sym >= 0, left_sym, right_sym)
+    d_t = tracking_bar_difference(indicator, frame_indicator)
+    usable = (indicator >= 0) & ~disagree & (d_t <= 1)
+    return np.where(usable, d_t, -1).astype(np.int64)
+
+
+def _decode_one_or_none(decoder: FrameDecoder, image: np.ndarray) -> FrameResult | None:
+    """Process-pool-safe single-capture decode (module level => picklable)."""
+    try:
+        return decoder.decode_capture(image)
+    except DecodeError:
+        return None
 
 
 def assemble_frame(

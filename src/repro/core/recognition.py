@@ -106,6 +106,21 @@ class ColorClassifier:
         rgb = sample_block_colors(image, centers, self.mean_filter_radius)
         return self.classify_pixels_denoised(rgb)
 
+    def black_mask(self, image: np.ndarray) -> np.ndarray:
+        """Boolean mask of pixels that classify as black.
+
+        In HSV mode black is decided purely by the value channel
+        (``max(R, G, B) < T_v`` — the black override is applied last in
+        :func:`classify_hsv`), so the mask skips the hue/saturation math
+        entirely; corner detection scans the whole capture through this
+        path.  Other modes fall back to a full classification.
+        """
+        if self.mode != "hsv":
+            return self.classify_pixels(image) == int(Color.BLACK)
+        image = np.asarray(image, dtype=np.float64)
+        value = np.maximum(np.maximum(image[..., 0], image[..., 1]), image[..., 2])
+        return value < self.t_value
+
     def classify_pixels(self, pixels: np.ndarray) -> np.ndarray:
         """Color index of raw RGB pixels ``(..., 3)`` (no denoising)."""
         return self.classify_pixels_denoised(np.asarray(pixels, dtype=np.float64))

@@ -31,11 +31,16 @@ def _convolve_axis(image: np.ndarray, kernel: np.ndarray, axis: int) -> np.ndarr
     pad_spec[axis] = (pad, pad)
     padded = np.pad(image, pad_spec, mode="reflect")
 
+    # Accumulate through one reused scratch buffer: `slice * weight`
+    # then `out += scratch` is the same arithmetic as
+    # `out += weight * slice` without a fresh temporary per tap.
     out = np.zeros_like(image, dtype=np.float64)
+    scratch = np.empty_like(out)
     for offset, weight in enumerate(kernel):
         sl = [slice(None)] * image.ndim
         sl[axis] = slice(offset, offset + image.shape[axis])
-        out += weight * padded[tuple(sl)]
+        np.multiply(padded[tuple(sl)], weight, out=scratch)
+        out += scratch
     return out
 
 
@@ -105,5 +110,8 @@ def motion_blur(image: np.ndarray, length: float, angle_deg: float = 0.0) -> np.
     for off in offsets:
         dx, dy = off * np.cos(theta), off * np.sin(theta)
         ix, iy = int(np.round(dx)), int(np.round(dy))
-        acc += np.roll(np.roll(image, iy, axis=0), ix, axis=1)
+        if ix == 0 and iy == 0:
+            acc += image
+        else:
+            acc += np.roll(image, (iy, ix), axis=(0, 1))
     return acc / steps

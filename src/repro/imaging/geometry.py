@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .interpolation import sample_bilinear
+from .interpolation import bilinear_coeffs, sample_bilinear
 
 __all__ = [
     "estimate_homography",
@@ -103,13 +103,30 @@ def warp_perspective(
     which is the standard artifact-free direction.
     """
     height, width = output_shape
-    h_inv = np.linalg.inv(np.asarray(h, dtype=np.float64))
-    pts = _pixel_grid(height, width)
-    mapped = h_inv @ pts
-    mapped_x = (mapped[0] / mapped[2]).reshape(height, width)
-    mapped_y = (mapped[1] / mapped[2]).reshape(height, width)
-    return sample_bilinear(image, mapped_x, mapped_y, fill=fill)
+    src = np.asarray(image)
+    src_h, src_w = int(src.shape[0]), int(src.shape[1])
+    h_arr = np.ascontiguousarray(h, dtype=np.float64)
+    key = (h_arr.tobytes(), height, width, src_h, src_w)
+    coeffs = _WARP_COORD_CACHE.get(key)
+    if coeffs is None:
+        h_inv = np.linalg.inv(h_arr)
+        pts = _pixel_grid(height, width)
+        mapped = h_inv @ pts
+        mapped_x = (mapped[0] / mapped[2]).reshape(height, width)
+        mapped_y = (mapped[1] / mapped[2]).reshape(height, width)
+        coeffs = bilinear_coeffs(mapped_x, mapped_y, src_h, src_w)
+        if len(_WARP_COORD_CACHE) > 16:
+            _WARP_COORD_CACHE.clear()
+        _WARP_COORD_CACHE[key] = coeffs
+    return sample_bilinear(image, None, None, fill=fill, coeffs=coeffs)
 
+
+#: Precomputed bilinear interpolation terms for the inverse-mapped warp
+#: grid, keyed by (homography bytes, output shape, source shape).  A
+#: tripod session reuses one homography for every capture, so the
+#: inverse map, projective divide and neighbour-index arithmetic all run
+#: exactly once per session.
+_WARP_COORD_CACHE: dict[tuple[bytes, int, int, int, int], tuple[np.ndarray, ...]] = {}
 
 _GRID_CACHE: dict[tuple[int, int], np.ndarray] = {}
 

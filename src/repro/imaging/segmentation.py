@@ -48,6 +48,22 @@ class ComponentStats:
         return long_side / short_side
 
 
+_COORD_CACHE: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
+
+
+def _flat_coords(shape: tuple[int, int]) -> tuple[np.ndarray, np.ndarray]:
+    """Flat per-pixel (x, y) coordinate weights for *shape*, cached."""
+    cached = _COORD_CACHE.get(shape)
+    if cached is None:
+        height, width = shape
+        xs = np.tile(np.arange(width, dtype=np.float64), height)
+        ys = np.repeat(np.arange(height, dtype=np.float64), width)
+        if len(_COORD_CACHE) > 8:
+            _COORD_CACHE.clear()
+        cached = _COORD_CACHE[shape] = (xs, ys)
+    return cached
+
+
 def connected_components(mask: np.ndarray) -> tuple[np.ndarray, int]:
     """8-connected labeling of a boolean mask: ``(labels, count)``.
 
@@ -73,31 +89,34 @@ def component_stats(
     flat = labels.ravel()
     areas = np.bincount(flat, minlength=count + 1)
 
-    ys, xs = np.nonzero(labels)
-    lab = labels[ys, xs]
-    sum_x = np.bincount(lab, weights=xs, minlength=count + 1)
-    sum_y = np.bincount(lab, weights=ys, minlength=count + 1)
-
-    min_x = np.full(count + 1, np.iinfo(np.int64).max)
-    min_y = np.full(count + 1, np.iinfo(np.int64).max)
-    max_x = np.full(count + 1, -1)
-    max_y = np.full(count + 1, -1)
-    np.minimum.at(min_x, lab, xs)
-    np.minimum.at(min_y, lab, ys)
-    np.maximum.at(max_x, lab, xs)
-    np.maximum.at(max_y, lab, ys)
+    # Bounding boxes from ndimage's C pass; centroids from weighted
+    # bincounts over the flat label image (row/column index arrays are
+    # implicit in the flat offset, so no nonzero() scatter is needed).
+    boxes = ndimage.find_objects(labels, max_label=count)
+    xs_flat, ys_flat = _flat_coords(labels.shape)
+    sum_x = np.bincount(flat, weights=xs_flat, minlength=count + 1)
+    sum_y = np.bincount(flat, weights=ys_flat, minlength=count + 1)
 
     out = []
     for label in range(1, count + 1):
         area = int(areas[label])
         if area < min_area or (max_area is not None and area > max_area):
             continue
+        box = boxes[label - 1]
+        if box is None:
+            continue
+        row_slice, col_slice = box
         out.append(
             ComponentStats(
                 label=label,
                 area=area,
                 centroid=(float(sum_x[label] / area), float(sum_y[label] / area)),
-                bbox=(int(min_x[label]), int(min_y[label]), int(max_x[label]), int(max_y[label])),
+                bbox=(
+                    int(col_slice.start),
+                    int(row_slice.start),
+                    int(col_slice.stop - 1),
+                    int(row_slice.stop - 1),
+                ),
             )
         )
     return out

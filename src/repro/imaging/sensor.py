@@ -34,9 +34,11 @@ def rgb_to_ycbcr(rgb: np.ndarray) -> np.ndarray:
     """BT.601 full-range RGB -> YCbCr (Y in [0,1], Cb/Cr in [-0.5, 0.5])."""
     rgb = np.asarray(rgb, dtype=np.float64)
     y = _KR * rgb[..., 0] + _KG * rgb[..., 1] + _KB * rgb[..., 2]
-    cb = (rgb[..., 2] - y) / (2.0 * (1.0 - _KB))
-    cr = (rgb[..., 0] - y) / (2.0 * (1.0 - _KR))
-    return np.stack([y, cb, cr], axis=-1)
+    out = np.empty(rgb.shape[:-1] + (3,), dtype=np.float64)
+    out[..., 0] = y
+    out[..., 1] = (rgb[..., 2] - y) / (2.0 * (1.0 - _KB))
+    out[..., 2] = (rgb[..., 0] - y) / (2.0 * (1.0 - _KR))
+    return out
 
 
 def ycbcr_to_rgb(ycc: np.ndarray) -> np.ndarray:
@@ -45,8 +47,11 @@ def ycbcr_to_rgb(ycc: np.ndarray) -> np.ndarray:
     y, cb, cr = ycc[..., 0], ycc[..., 1], ycc[..., 2]
     r = y + 2.0 * (1.0 - _KR) * cr
     b = y + 2.0 * (1.0 - _KB) * cb
-    g = (y - _KR * r - _KB * b) / _KG
-    return np.clip(np.stack([r, g, b], axis=-1), 0.0, 1.0)
+    out = np.empty(ycc.shape[:-1] + (3,), dtype=np.float64)
+    out[..., 0] = r
+    out[..., 1] = (y - _KR * r - _KB * b) / _KG
+    out[..., 2] = b
+    return np.clip(out, 0.0, 1.0, out=out)
 
 
 def chroma_subsample(image: np.ndarray, factor: int = 2, chroma_blur: float = 0.7) -> np.ndarray:
@@ -82,6 +87,22 @@ def chroma_subsample(image: np.ndarray, factor: int = 2, chroma_blur: float = 0.
     return ycbcr_to_rgb(out)
 
 
+#: 1-D upsample coordinates keyed by (full shape, small shape, factor).
+#: The mapping is fixed for a given geometry, so the floor/clip/fraction
+#: work runs once per image size instead of once per capture.
+_UPSAMPLE_COORD_CACHE: dict[tuple[int, int, int, int, int], tuple] = {}
+
+
+def _upsample_axis_coords(full: int, small: int, factor: int) -> tuple:
+    """Lower/upper source indices and blend fraction along one axis."""
+    offset = (factor - 1) / 2.0
+    coords = np.clip((np.arange(full, dtype=np.float64) - offset) / factor, 0.0, small - 1.0)
+    i0 = np.clip(np.floor(coords), 0, small - 1).astype(np.int64)
+    i1 = np.clip(i0 + 1, 0, small - 1)
+    frac = np.clip(coords - i0, 0.0, 1.0)
+    return i0, i1, frac
+
+
 def _bilinear_upsample(small: np.ndarray, shape: tuple[int, int], factor: int) -> np.ndarray:
     """Restore a decimated plane to *shape* with bilinear interpolation.
 
@@ -90,27 +111,63 @@ def _bilinear_upsample(small: np.ndarray, shape: tuple[int, int], factor: int) -
     ``i*factor + (factor-1)/2``, so full pixel p maps to small
     coordinate ``(p - (factor-1)/2) / factor``.  Coordinates clamp to
     the small grid so edges replicate instead of reading fill values.
-    """
-    from .interpolation import sample_bilinear
 
+    The map is separable (x depends only on the column, y only on the
+    row), so the interpolation runs on broadcast 1-D coordinate vectors
+    rather than full H x W grids — identical values, far less work.
+    """
     height, width = shape
-    ys, xs = np.mgrid[0:height, 0:width].astype(np.float64)
-    offset = (factor - 1) / 2.0
-    xs = np.clip((xs - offset) / factor, 0.0, small.shape[1] - 1.0)
-    ys = np.clip((ys - offset) / factor, 0.0, small.shape[0] - 1.0)
-    return sample_bilinear(small, xs, ys)
+    sh, sw = small.shape[:2]
+    key = (height, width, sh, sw, factor)
+    cached = _UPSAMPLE_COORD_CACHE.get(key)
+    if cached is None:
+        cached = _upsample_axis_coords(height, sh, factor) + _upsample_axis_coords(
+            width, sw, factor
+        )
+        if len(_UPSAMPLE_COORD_CACHE) > 16:
+            _UPSAMPLE_COORD_CACHE.clear()
+        _UPSAMPLE_COORD_CACHE[key] = cached
+    y0, y1, fy, x0, x1, fx = cached
+
+    fx_b = fx[np.newaxis, :, np.newaxis]
+    fy_b = fy[:, np.newaxis, np.newaxis]
+    ifx_b = 1.0 - fx_b
+    ify_b = 1.0 - fy_b
+    rows0 = small.take(y0, axis=0)
+    rows1 = small.take(y1, axis=0)
+    # In-place blend on the gathered copies — same operation order (and
+    # rounding) as ``a*(1-f) + b*f``, without full-size temporaries.
+    top = rows0.take(x0, axis=1)
+    top *= ifx_b
+    tmp = rows0.take(x1, axis=1)
+    tmp *= fx_b
+    top += tmp
+    bottom = rows1.take(x0, axis=1)
+    bottom *= ifx_b
+    tmp = rows1.take(x1, axis=1)
+    tmp *= fx_b
+    bottom += tmp
+    top *= ify_b
+    bottom *= fy_b
+    top += bottom
+    return top
 
 
 def white_balance_shift(image: np.ndarray, gains: tuple[float, float, float]) -> np.ndarray:
     """Per-channel gain error (auto-white-balance mis-estimation)."""
     image = np.asarray(image, dtype=np.float64)
-    return np.clip(image * np.asarray(gains, dtype=np.float64), 0.0, 1.0)
+    out = image * np.asarray(gains, dtype=np.float64)
+    return np.clip(out, 0.0, 1.0, out=out)
 
 
 def quantize_8bit(image: np.ndarray) -> np.ndarray:
     """Round to 8-bit levels — the recorded video's sample depth."""
     image = np.asarray(image, dtype=np.float64)
-    return np.round(np.clip(image, 0.0, 1.0) * 255.0) / 255.0
+    out = np.clip(image, 0.0, 1.0)
+    out *= 255.0
+    np.round(out, out=out)
+    out /= 255.0
+    return out
 
 
 class CameraPipeline:
