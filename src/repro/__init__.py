@@ -54,6 +54,7 @@ from .core import (
     CaptureExtraction,
     Color,
     DecodeError,
+    DecodeFailure,
     Frame,
     FrameCodecConfig,
     FrameDecoder,
@@ -89,6 +90,7 @@ __all__ = [
     "CaptureExtraction",
     "StreamReassembler",
     "DecodeError",
+    "DecodeFailure",
     "Color",
     "capacity_report",
     # channel

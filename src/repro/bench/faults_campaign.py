@@ -1,0 +1,253 @@
+"""Fault-injection campaign: sweep the fault matrix across seeds.
+
+Runs one :class:`~repro.link.session.TransferSession` per
+(scenario, seed) pair with the scenario's
+:class:`~repro.faults.plan.FaultPlan` attached, and aggregates
+per-scenario frame-loss and recovery counters.  Jobs fan across the
+process pool of :mod:`repro.bench.parallel`; because every trial
+derives all of its randomness from its own ``(scenario, seed)`` pair
+and results return in job order, the aggregated counters are
+bit-identical whether the campaign runs serially or on N workers —
+the acceptance check of the ``faults-campaign`` CLI.
+
+The campaign uses a reduced geometry (a 24 x 44 grid at 8 px on a
+300 x 480 sensor) so a full matrix x 8 seeds finishes in about a
+minute on one core; the counters measure *relative* degradation per
+fault, not absolute paper throughput.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..channel.link import LinkConfig
+from ..core.encoder import FrameCodecConfig
+from ..core.layout import FrameLayout
+from ..faults import scenario_names, scenario_plan
+from ..link.session import TransferSession
+from .parallel import run_trials_parallel
+
+__all__ = [
+    "FaultTrialResult",
+    "ScenarioSummary",
+    "run_fault_trial",
+    "run_campaign",
+    "summarize",
+    "format_table",
+    "campaign_to_json",
+    "write_campaign_results",
+]
+
+#: Reduced campaign geometry (see module docstring).
+CAMPAIGN_GRID = (24, 44, 8)  # grid_rows, grid_cols, block_px
+CAMPAIGN_SENSOR = (300, 480)  # sensor height, width
+
+
+@dataclass(frozen=True)
+class FaultTrialResult:
+    """Counters of one faulted transfer session."""
+
+    scenario: str
+    seed: int
+    delivered: bool
+    rounds: int
+    frames_total: int
+    frames_sent: int
+    frames_failed: int
+    captures: int
+    captures_dropped: int
+    drop_reasons: dict = field(default_factory=dict)
+
+
+@dataclass
+class ScenarioSummary:
+    """Aggregated counters of every seed of one scenario."""
+
+    scenario: str
+    trials: int = 0
+    delivered: int = 0
+    #: Delivered sessions that needed more than one round (the NACK
+    #: path actually recovered lost frames).
+    recovered_by_retransmission: int = 0
+    rounds: int = 0
+    frames_total: int = 0
+    frames_sent: int = 0
+    frames_failed: int = 0
+    captures: int = 0
+    captures_dropped: int = 0
+    drop_reasons: dict = field(default_factory=dict)
+
+    @property
+    def delivery_rate(self) -> float:
+        return self.delivered / self.trials if self.trials else 0.0
+
+    @property
+    def capture_loss_rate(self) -> float:
+        return self.captures_dropped / self.captures if self.captures else 0.0
+
+    @property
+    def retransmission_overhead(self) -> float:
+        if self.frames_total == 0:
+            return 0.0
+        return self.frames_sent / self.frames_total - 1.0
+
+    def fold(self, trial: FaultTrialResult) -> None:
+        self.trials += 1
+        self.delivered += int(trial.delivered)
+        self.recovered_by_retransmission += int(trial.delivered and trial.rounds > 1)
+        self.rounds += trial.rounds
+        self.frames_total += trial.frames_total
+        self.frames_sent += trial.frames_sent
+        self.frames_failed += trial.frames_failed
+        self.captures += trial.captures
+        self.captures_dropped += trial.captures_dropped
+        for stage, count in trial.drop_reasons.items():
+            self.drop_reasons[stage] = self.drop_reasons.get(stage, 0) + count
+
+
+def _campaign_config(num_frames: int) -> tuple[FrameCodecConfig, LinkConfig, int]:
+    rows, cols, block = CAMPAIGN_GRID
+    codec = FrameCodecConfig(layout=FrameLayout(grid_rows=rows, grid_cols=cols, block_px=block))
+    link = LinkConfig(sensor_size=CAMPAIGN_SENSOR)
+    return codec, link, codec.payload_bytes_per_frame * num_frames
+
+
+def _trial_payload(scenario: str, seed: int, length: int) -> bytes:
+    """Deterministic per-trial payload (independent of numpy state)."""
+    tag = zlib.crc32(scenario.encode())
+    return bytes((seed * 37 + tag + i * 101) % 256 for i in range(length))
+
+
+def run_fault_trial(
+    scenario: str,
+    seed: int,
+    num_frames: int = 2,
+    max_rounds: int = 3,
+) -> FaultTrialResult:
+    """Run one faulted transfer session (module-level => picklable).
+
+    Every random draw — channel noise, mobility jitter, fault plan —
+    derives from ``(scenario, seed)`` alone, so the result is a pure
+    function of the arguments regardless of process or call order.
+    """
+    codec, link_config, payload_len = _campaign_config(num_frames)
+    payload = _trial_payload(scenario, seed, payload_len)
+    session = TransferSession(
+        codec,
+        link_config=link_config,
+        rng=np.random.default_rng([seed, zlib.crc32(scenario.encode())]),
+        faults=scenario_plan(scenario, seed=seed),
+    )
+    recovered, stats = session.transmit(payload, max_rounds=max_rounds)
+    return FaultTrialResult(
+        scenario=scenario,
+        seed=seed,
+        delivered=recovered == payload,
+        rounds=stats.rounds,
+        frames_total=stats.frames_total,
+        frames_sent=stats.frames_sent,
+        frames_failed=stats.frames_failed,
+        captures=stats.captures,
+        captures_dropped=stats.captures_dropped,
+        drop_reasons=dict(stats.drop_reasons),
+    )
+
+
+def run_campaign(
+    scenarios: list[str] | None = None,
+    seeds: int = 8,
+    workers: int | None = None,
+    num_frames: int = 2,
+    max_rounds: int = 3,
+) -> list[FaultTrialResult]:
+    """Run the (scenario x seed) matrix; results in job order."""
+    scenarios = list(scenarios) if scenarios else scenario_names()
+    jobs = [
+        {"scenario": name, "seed": seed, "num_frames": num_frames, "max_rounds": max_rounds}
+        for name in scenarios
+        for seed in range(seeds)
+    ]
+    return run_trials_parallel(run_fault_trial, jobs, workers=workers)
+
+
+def summarize(trials: list[FaultTrialResult]) -> list[ScenarioSummary]:
+    """Per-scenario aggregation, in first-seen scenario order."""
+    summaries: dict[str, ScenarioSummary] = {}
+    for trial in trials:
+        summaries.setdefault(trial.scenario, ScenarioSummary(trial.scenario)).fold(trial)
+    return list(summaries.values())
+
+
+def format_table(summaries: list[ScenarioSummary]) -> str:
+    """Human-readable per-fault loss/recovery table."""
+    header = (
+        f"{'scenario':<20} {'deliv':>7} {'retx-rec':>8} {'cap-loss':>8} "
+        f"{'frm-fail':>8} {'overhead':>8}  drop stages"
+    )
+    lines = [header, "-" * len(header)]
+    for s in summaries:
+        reasons = ", ".join(f"{k}:{v}" for k, v in sorted(s.drop_reasons.items())) or "-"
+        lines.append(
+            f"{s.scenario:<20} {s.delivered:>3}/{s.trials:<3} "
+            f"{s.recovered_by_retransmission:>8} {s.capture_loss_rate:>7.1%} "
+            f"{s.frames_failed:>8} {s.retransmission_overhead:>7.1%}  {reasons}"
+        )
+    return "\n".join(lines)
+
+
+def campaign_to_json(trials: list[FaultTrialResult], summaries: list[ScenarioSummary]) -> str:
+    """Canonical JSON of all counters (byte-identical across runs)."""
+    doc = {
+        "summaries": [
+            {
+                "scenario": s.scenario,
+                "trials": s.trials,
+                "delivered": s.delivered,
+                "recovered_by_retransmission": s.recovered_by_retransmission,
+                "rounds": s.rounds,
+                "frames_total": s.frames_total,
+                "frames_sent": s.frames_sent,
+                "frames_failed": s.frames_failed,
+                "captures": s.captures,
+                "captures_dropped": s.captures_dropped,
+                "drop_reasons": dict(sorted(s.drop_reasons.items())),
+            }
+            for s in summaries
+        ],
+        "trials": [
+            {
+                "scenario": t.scenario,
+                "seed": t.seed,
+                "delivered": t.delivered,
+                "rounds": t.rounds,
+                "frames_sent": t.frames_sent,
+                "frames_failed": t.frames_failed,
+                "captures": t.captures,
+                "captures_dropped": t.captures_dropped,
+                "drop_reasons": dict(sorted(t.drop_reasons.items())),
+            }
+            for t in trials
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def write_campaign_results(
+    out_dir: str | Path,
+    trials: list[FaultTrialResult],
+    summaries: list[ScenarioSummary],
+    stem: str = "F1_fault_campaign",
+) -> tuple[Path, Path]:
+    """Write the table (.txt) and counters (.json) under *out_dir*."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    txt = out / f"{stem}.txt"
+    js = out / f"{stem}.json"
+    txt.write_text(format_table(summaries) + "\n")
+    js.write_text(campaign_to_json(trials, summaries) + "\n")
+    return txt, js

@@ -17,10 +17,14 @@ substitution; DESIGN.md).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from .screen import FrameSchedule
+
+if TYPE_CHECKING:
+    from ..faults.plan import FaultPlan
 
 __all__ = ["CameraTiming", "compose_rolling_shutter"]
 
@@ -75,6 +79,8 @@ def compose_rolling_shutter(
     schedule: FrameSchedule,
     timing: CameraTiming,
     start_time: float,
+    faults: "FaultPlan | None" = None,
+    capture_index: int = 0,
 ) -> np.ndarray:
     """Screen-space composite seen by a capture starting at *start_time*.
 
@@ -85,7 +91,13 @@ def compose_rolling_shutter(
     faster than the line exposure allows) blends pairwise between the
     first and last frame — adequate because exposure is much shorter
     than the frame period in every experiment.
+
+    *faults* is the camera-stage fault hook: its ``shutter``
+    impairments perturb the readout start time (rolling-shutter
+    jitter), deterministically per *capture_index*.
     """
+    if faults is not None:
+        start_time = faults.jitter_start_time(start_time, capture_index)
     height = schedule.image_shape[0]
     times = timing.line_times(height, start_time)
 

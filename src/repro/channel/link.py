@@ -17,6 +17,7 @@ profile.  Every experiment in :mod:`benchmarks` drives this class.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -28,6 +29,9 @@ from .environment import EnvironmentProfile, indoor
 from .mobility import MobilityModel, tripod
 from .optics import LensModel
 from .screen import FrameSchedule
+
+if TYPE_CHECKING:
+    from ..faults.plan import FaultPlan
 
 __all__ = ["LinkConfig", "Capture", "ScreenCameraLink"]
 
@@ -62,11 +66,25 @@ class Capture:
 
 
 class ScreenCameraLink:
-    """Simulates a receiver filming a sender's barcode stream."""
+    """Simulates a receiver filming a sender's barcode stream.
 
-    def __init__(self, config: LinkConfig, rng: np.random.Generator | None = None):
+    *faults* attaches a :class:`~repro.faults.plan.FaultPlan` to the
+    receive chain: shutter jitter inside the rolling-shutter composer,
+    pre/post-optics impairments inside the lens model, sensor-stage
+    impairments on the finished capture, and stream-stage drops and
+    duplicates in :meth:`capture_stream`.  (Emission-stage faults live
+    on the :class:`~repro.channel.screen.FrameSchedule`.)
+    """
+
+    def __init__(
+        self,
+        config: LinkConfig,
+        rng: np.random.Generator | None = None,
+        faults: "FaultPlan | None" = None,
+    ):
         self.config = config
         self.rng = rng or np.random.default_rng(0xCA11)
+        self.faults = faults
         # White balance drifts per session, not per capture.
         self._wb_gains = config.pipeline.sample_gains(self.rng)
 
@@ -83,10 +101,14 @@ class ScreenCameraLink:
             offset_px=jitter,
         )
 
-    def capture_at(self, schedule: FrameSchedule, start_time: float) -> Capture:
+    def capture_at(
+        self, schedule: FrameSchedule, start_time: float, capture_index: int = 0
+    ) -> Capture:
         """Produce the single capture whose readout starts at *start_time*."""
         cfg = self.config
-        composite = compose_rolling_shutter(schedule, cfg.timing, start_time)
+        composite = compose_rolling_shutter(
+            schedule, cfg.timing, start_time, faults=self.faults, capture_index=capture_index
+        )
 
         jitter = cfg.mobility.sample_offset(self.rng)
         angle_offset = cfg.mobility.sample_angle_offset(self.rng)
@@ -105,12 +127,16 @@ class ScreenCameraLink:
             composite, homography, cfg.sensor_size, fill=cfg.background_level
         )
 
-        sensor = cfg.lens.apply(sensor, cfg.distance_cm)
+        sensor = cfg.lens.apply(
+            sensor, cfg.distance_cm, faults=self.faults, capture_index=capture_index
+        )
         blur_len, blur_angle = cfg.mobility.sample_blur(self.rng)
         if blur_len > 0:
             sensor = motion_blur(sensor, blur_len, blur_angle)
         sensor = cfg.environment.degrade(sensor, self.rng)
         sensor = cfg.pipeline.apply(sensor, self._wb_gains)
+        if self.faults is not None:
+            sensor = self.faults.apply_image("sensor", sensor, capture_index)
         return Capture(time=start_time, image=sensor)
 
     def capture_stream(
@@ -129,7 +155,24 @@ class ScreenCameraLink:
         if start_offset is None:
             start_offset = float(self.rng.uniform(0.0, period))
         times = np.arange(start_offset, schedule.duration, period)
-        return [self.capture_at(schedule, float(t)) for t in times]
+        if self.faults is None:
+            return [
+                self.capture_at(schedule, float(t), capture_index=i)
+                for i, t in enumerate(times)
+            ]
+        # Stream-stage faults decide drops/duplicates up front, so a
+        # dropped capture is never rendered and a duplicated one is
+        # rendered once and delivered twice (identical pixels, as a
+        # stalled video pipeline would produce).
+        out: list[Capture] = []
+        rendered: dict[int, Capture] = {}
+        for index in self.faults.stream_indices(len(times)):
+            capture = rendered.get(index)
+            if capture is None:
+                capture = self.capture_at(schedule, float(times[index]), capture_index=index)
+                rendered[index] = capture
+            out.append(capture)
+        return out
 
     def geometry(self, screen_shape: tuple[int, int]) -> PinholeSetup:
         """The nominal (jitter-free) projection for *screen_shape*."""

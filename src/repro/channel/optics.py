@@ -10,11 +10,15 @@ distortion that bends straight block rows into arcs.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..imaging.filters import gaussian_blur
 from ..imaging.interpolation import sample_bilinear
+
+if TYPE_CHECKING:
+    from ..faults.plan import FaultPlan
 
 __all__ = ["LensModel", "apply_radial_distortion"]
 
@@ -55,7 +59,25 @@ class LensModel:
         defocus = abs(distance_cm - self.focus_distance_cm) * self.defocus_per_cm
         return self.base_blur_px + defocus
 
-    def apply(self, image: np.ndarray, distance_cm: float) -> np.ndarray:
-        """Blur then distort *image* as this lens would."""
+    def apply(
+        self,
+        image: np.ndarray,
+        distance_cm: float,
+        faults: "FaultPlan | None" = None,
+        capture_index: int = 0,
+    ) -> np.ndarray:
+        """Blur then distort *image* as this lens would.
+
+        *faults* is the optics-stage fault hook: ``pre_optics``
+        impairments (e.g. a finger in front of the lens) run before the
+        defocus blur — so they are blurred like any out-of-focus
+        occluder — and ``post_optics`` impairments (e.g. specular
+        glare forming on the lens stack) run after it.
+        """
+        if faults is not None:
+            image = faults.apply_image("pre_optics", image, capture_index)
         out = gaussian_blur(image, self.blur_sigma(distance_cm))
-        return apply_radial_distortion(out, self.k1, self.k2)
+        out = apply_radial_distortion(out, self.k1, self.k2)
+        if faults is not None:
+            out = faults.apply_image("post_optics", out, capture_index)
+        return out

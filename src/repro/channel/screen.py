@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..faults.plan import FaultPlan
 from ..imaging.noise import scale_brightness
 
 __all__ = ["FrameSchedule"]
@@ -32,11 +33,16 @@ class FrameSchedule:
     brightness:
         Screen brightness setting in ``(0, 1]`` (the paper's s_b, where
         1.0 is 100 %).
+    faults:
+        Optional :class:`~repro.faults.plan.FaultPlan`; its
+        ``emission``-stage impairments (e.g. display flicker) run on
+        each emitted frame.  This is the sender-side fault hook point.
     """
 
     images: list[np.ndarray]
     display_rate: float
     brightness: float = 1.0
+    faults: FaultPlan | None = None
     #: Brightness-scaled emitted images, keyed by (index, brightness).
     #: Every capture of a schedule re-reads the same one or two frames,
     #: so the scale + clip pass runs once per frame instead of once per
@@ -86,6 +92,10 @@ class FrameSchedule:
         emitted = self._emitted_cache.get(key)
         if emitted is None:
             emitted = scale_brightness(self.images[index], self.brightness)
+            if self.faults is not None:
+                # Emission faults are deterministic per frame index, so
+                # the degraded frame is as cacheable as the clean one.
+                emitted = self.faults.apply_image("emission", emitted, index)
             self._emitted_cache[key] = emitted
         return emitted
 

@@ -7,6 +7,7 @@ Commands
 ``simulate``  end-to-end demo over the simulated channel
 ``capacity``  print the Section III-B capacity comparison
 ``info``      describe a saved frame stream
+``faults-campaign``  sweep the fault-injection matrix across seeds
 
 The CLI wraps the same public API the examples use; it exists so the
 library is drivable without writing Python.
@@ -55,6 +56,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     info = sub.add_parser("info", help="describe a saved frame stream")
     info.add_argument("stream", help=".npz written by `repro encode`")
+
+    camp = sub.add_parser(
+        "faults-campaign",
+        help="sweep the fault-injection matrix across seeds",
+        description=(
+            "Runs one NACK/retransmission transfer session per (fault "
+            "scenario, seed) pair and writes per-fault frame-loss and "
+            "recovery tables.  Counters are bit-identical for any "
+            "--workers value."
+        ),
+    )
+    camp.add_argument("--seeds", type=int, default=8, help="seeds per scenario")
+    camp.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: REPRO_WORKERS or cpu count)",
+    )
+    camp.add_argument(
+        "--scenarios", default=None,
+        help="comma-separated scenario names (default: full matrix)",
+    )
+    camp.add_argument("--frames", type=int, default=2, help="frames per payload")
+    camp.add_argument("--max-rounds", type=int, default=3, help="NACK rounds per session")
+    camp.add_argument(
+        "--out", default="benchmarks/results",
+        help="output directory for the .txt/.json tables ('-' prints only)",
+    )
     return parser
 
 
@@ -199,12 +226,47 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _cmd_faults_campaign(args) -> int:
+    from .bench.faults_campaign import (
+        format_table,
+        run_campaign,
+        summarize,
+        write_campaign_results,
+    )
+    from .faults import scenario_names
+
+    if args.scenarios:
+        names = [n.strip() for n in args.scenarios.split(",") if n.strip()]
+        unknown = sorted(set(names) - set(scenario_names()))
+        if unknown:
+            print(f"unknown scenario(s): {', '.join(unknown)}", file=sys.stderr)
+            print(f"available: {', '.join(scenario_names())}", file=sys.stderr)
+            return 2
+    else:
+        names = scenario_names()
+
+    trials = run_campaign(
+        scenarios=names,
+        seeds=args.seeds,
+        workers=args.workers,
+        num_frames=args.frames,
+        max_rounds=args.max_rounds,
+    )
+    summaries = summarize(trials)
+    print(format_table(summaries))
+    if args.out != "-":
+        txt, js = write_campaign_results(args.out, trials, summaries)
+        print(f"\nwrote {txt} and {js}")
+    return 0
+
+
 _COMMANDS = {
     "encode": _cmd_encode,
     "decode": _cmd_decode,
     "simulate": _cmd_simulate,
     "capacity": _cmd_capacity,
     "info": _cmd_info,
+    "faults-campaign": _cmd_faults_campaign,
 }
 
 

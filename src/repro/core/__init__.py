@@ -7,8 +7,10 @@ from .capacity import CapacityReport, capacity_report
 from .corners import CornerDetection, CornerDetectionError, detect_corner_trackers
 from .debug import describe_extraction, geometry_overlay
 from .decoder import (
+    DECODE_STAGES,
     CaptureExtraction,
     DecodeError,
+    DecodeFailure,
     FrameDecoder,
     FrameResult,
     assemble_frame,
@@ -74,6 +76,8 @@ __all__ = [
     "FrameResult",
     "CaptureExtraction",
     "DecodeError",
+    "DecodeFailure",
+    "DECODE_STAGES",
     "assemble_frame",
     "StreamReassembler",
     "CapacityReport",

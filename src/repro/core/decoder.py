@@ -40,6 +40,8 @@ from .recognition import ColorClassifier
 
 __all__ = [
     "DecodeError",
+    "DecodeFailure",
+    "DECODE_STAGES",
     "CaptureExtraction",
     "FrameResult",
     "FrameDecoder",
@@ -54,8 +56,72 @@ _COLOR_TO_SYMBOL[int(Color.GREEN)] = 2
 _COLOR_TO_SYMBOL[int(Color.BLUE)] = 3
 
 
+#: Pipeline stages a decode can fail in, in pipeline order.  "input" is
+#: capture validation, "assemble" is the coding step 7, "capture" the
+#: generic stage of errors raised outside the staged pipeline.
+DECODE_STAGES = (
+    "input",
+    "brightness",
+    "corners",
+    "locators",
+    "classify",
+    "header",
+    "tracking",
+    "assemble",
+    "capture",
+)
+
+
+@dataclass(frozen=True)
+class DecodeFailure:
+    """Structured decode-failure taxonomy: which stage gave up, and why.
+
+    ``stage`` is one of :data:`DECODE_STAGES`; ``reason`` is the
+    human-readable message; ``exception`` names the original exception
+    class when the failure wraps an unexpected error (empty for the
+    pipeline's own deliberate rejections).
+    """
+
+    stage: str
+    reason: str
+    exception: str = ""
+
+    def __str__(self) -> str:
+        origin = f" [{self.exception}]" if self.exception else ""
+        return f"{self.stage}: {self.reason}{origin}"
+
+
+#: Exception types a corrupted capture can legitimately push out of the
+#: numeric pipeline (degenerate geometry, non-finite values, empty
+#: slices).  ``extract`` converts these to stage-tagged
+#: :class:`DecodeError`; anything else (TypeError, AttributeError...)
+#: is a programming error and still propagates.
+_UNEXPECTED_ERRORS = (
+    ValueError,
+    IndexError,
+    KeyError,
+    ZeroDivisionError,
+    FloatingPointError,
+    OverflowError,
+    np.linalg.LinAlgError,
+)
+
+
 class DecodeError(RuntimeError):
-    """A capture could not be decoded at all (no corners, no header...)."""
+    """A capture could not be decoded at all (no corners, no header...).
+
+    Carries a :class:`DecodeFailure` so callers that catch it (the
+    receivers, the transfer session, the fault campaign) can bin the
+    loss by pipeline stage instead of string-matching messages.
+    """
+
+    def __init__(self, message: str, stage: str = "capture", exception: str = ""):
+        super().__init__(message)
+        self.failure = DecodeFailure(stage=stage, reason=str(message), exception=exception)
+
+    @property
+    def stage(self) -> str:
+        return self.failure.stage
 
 
 @dataclass(frozen=True)
@@ -70,6 +136,9 @@ class DecodeDiagnostics:
     #: Wall-clock per pipeline stage in milliseconds (insertion order is
     #: pipeline order); bench E10 reports this as the stage breakdown.
     stage_ms: dict = field(default_factory=dict)
+    #: Populated by :meth:`FrameDecoder.extract_diagnosed` when the
+    #: capture failed; ``None`` for successful extractions.
+    failure: DecodeFailure | None = None
 
 
 @dataclass
@@ -151,13 +220,49 @@ class FrameDecoder:
         """Run geometry recovery and color recognition on one capture.
 
         Raises :exc:`DecodeError` when the capture is unusable (corner
-        trackers or locator columns not found, header CRC failure).
+        trackers or locator columns not found, header CRC failure).  The
+        error always carries a stage-tagged :class:`DecodeFailure`:
+        deliberate pipeline rejections keep their stage, and any
+        unexpected numeric/indexing error from a corrupted capture is
+        converted to one tagged with the stage it escaped from, so a
+        fault-injected image can degrade the link but never crash it.
         """
         timer = StageTimer()
-        image = np.asarray(image, dtype=np.float64)
+        current = "input"
+
+        def stage(name: str):
+            nonlocal current
+            current = name
+            return timer.stage(name)
+
+        try:
+            return self._extract_stages(image, timer, stage)
+        except DecodeError:
+            raise
+        except _UNEXPECTED_ERRORS as exc:
+            raise DecodeError(
+                f"{type(exc).__name__} during {current}: {exc}",
+                stage=current,
+                exception=type(exc).__name__,
+            ) from exc
+
+    def _extract_stages(self, image: np.ndarray, timer: StageTimer, stage) -> CaptureExtraction:
+        with stage("input"):
+            image = np.asarray(image, dtype=np.float64)
+            if image.ndim != 3 or image.shape[-1] != 3 or image.size == 0:
+                raise DecodeError(
+                    f"capture must be a non-empty (H, W, 3) array, got shape "
+                    f"{image.shape}",
+                    stage="input",
+                )
+            if not np.all(np.isfinite(image)):
+                # Corrupted sensor rows (e.g. injected scanline faults)
+                # may carry NaN/inf; treat them as black rather than
+                # letting non-finite values poison every later stage.
+                image = np.nan_to_num(image, nan=0.0, posinf=1.0, neginf=0.0)
         layout = self.config.layout
 
-        with timer.stage("brightness"):
+        with stage("brightness"):
             brightness = estimate_black_threshold(image)
         classifier = ColorClassifier(
             t_value=brightness.t_value,
@@ -166,21 +271,21 @@ class FrameDecoder:
             mode=self.classifier_mode,
         )
 
-        with timer.stage("corners"):
+        with stage("corners"):
             try:
                 corners = detect_corner_trackers(
                     image, classifier, self.min_block_px, self.max_block_px
                 )
             except CornerDetectionError as exc:
-                raise DecodeError(str(exc)) from exc
+                raise DecodeError(str(exc), stage="corners") from exc
 
-        with timer.stage("locators"):
+        with stage("locators"):
             localizer = self._localize(image, classifier, corners)
             centers = localizer.cell_centers(layout.data_cells)
             if not self.use_middle_locator:
                 centers = localizer.two_point_centers_naive(layout.data_cells)
 
-        with timer.stage("classify"):
+        with stage("classify"):
             # One bilinear sampling fan + one HSV classification covers
             # the header row, both tracking bars and every data cell
             # (previously four separate fans per capture).
@@ -205,10 +310,10 @@ class FrameDecoder:
                 left_sym = right_sym = None
                 data_symbols = symbols[n_header:]
 
-        with timer.stage("header"):
+        with stage("header"):
             header = self._parse_header(header_symbols)
 
-        with timer.stage("tracking"):
+        with stage("tracking"):
             if self.use_tracking_bars:
                 row_assignment = _assign_rows(left_sym, right_sym, header.tracking_indicator)
             else:
@@ -223,7 +328,7 @@ class FrameDecoder:
                 erased = np.isin(layout.symbol_rows, bad_rows)
                 data_symbols = np.where(erased, -1, data_symbols)
 
-        with timer.stage("diagnostics"):
+        with stage("diagnostics"):
             sharpness = sharpness_score(image)
         diagnostics = DecodeDiagnostics(
             t_value=brightness.t_value,
@@ -260,6 +365,31 @@ class FrameDecoder:
             centers=centers,
             row_confidence=confidence,
         )
+
+    def extract_diagnosed(
+        self, image: np.ndarray
+    ) -> tuple[CaptureExtraction | None, DecodeDiagnostics]:
+        """Graceful-degradation variant of :meth:`extract` — never raises.
+
+        Returns ``(extraction, diagnostics)`` on success and
+        ``(None, diagnostics)`` on failure, with the failure taxonomy
+        on ``diagnostics.failure``.  This is the API the receivers and
+        the transfer session use: a corrupted capture becomes a counted
+        loss with a stage attribution, not an exception.
+        """
+        try:
+            extraction = self.extract(image)
+        except DecodeError as exc:
+            nan = float("nan")
+            return None, DecodeDiagnostics(
+                t_value=nan,
+                block_size=nan,
+                locator_refinement=0.0,
+                corner_purity=0.0,
+                sharpness=nan,
+                failure=exc.failure,
+            )
+        return extraction, extraction.diagnostics
 
     def decode_capture(self, image: np.ndarray) -> FrameResult:
         """Single-shot decode assuming the capture holds one whole frame.
@@ -305,7 +435,7 @@ class FrameDecoder:
             )
         except LocatorError as exc:
             if self.use_middle_locator:
-                raise DecodeError(str(exc)) from exc
+                raise DecodeError(str(exc), stage="locators") from exc
             first_mid = midpoint  # ablation path tolerates a missing middle
         middle = walk_locator_column(
             image, classifier, first_mid, step, count, block,
@@ -315,7 +445,8 @@ class FrameDecoder:
         if left.refinement_rate < 0.3 or right.refinement_rate < 0.3:
             raise DecodeError(
                 "locator columns mostly failed to converge "
-                f"(left {left.refinement_rate:.0%}, right {right.refinement_rate:.0%})"
+                f"(left {left.refinement_rate:.0%}, right {right.refinement_rate:.0%})",
+                stage="locators",
             )
         return BlockLocalizer(
             layout=layout,
@@ -360,16 +491,16 @@ class FrameDecoder:
         """Validate and unpack already-classified header-row symbols."""
         needed = HEADER_BYTES * 4
         if len(symbols) < needed:
-            raise DecodeError("header row too short for the header format")
+            raise DecodeError("header row too short for the header format", stage="header")
         head = np.where(symbols[:needed] < 0, 0, symbols[:needed])
         try:
             header = FrameHeader.unpack(symbols_to_bytes(head))
         except HeaderError as exc:
-            raise DecodeError(f"header unreadable: {exc}") from exc
+            raise DecodeError(f"header unreadable: {exc}", stage="header") from exc
         if header.display_rate == 0:
             # An all-zero header row is CRC-consistent (CRC-8 of 0x0000 is
             # 0x00); a real sender always advertises a non-zero rate.
-            raise DecodeError("header implausible: display rate 0")
+            raise DecodeError("header implausible: display rate 0", stage="header")
         return header
 
     def _read_header(self, image, classifier, localizer) -> FrameHeader:
@@ -458,21 +589,27 @@ def assemble_frame(
 
     *symbols* must align with ``config.layout.data_cells``; entries of
     -1 are erasures (unclassifiable blocks, bad rows, rows never seen).
+    A short vector (e.g. a truncated extraction from a corrupted
+    capture) is padded with erasures, and any coding-layer exception
+    becomes a failed :class:`FrameResult` rather than a raise.
     """
     symbols = np.asarray(symbols, dtype=np.int64)
     used = 4 * config.coded_bytes_per_frame
+    if len(symbols) < used:
+        symbols = np.concatenate(
+            [symbols, np.full(used - len(symbols), -1, dtype=np.int64)]
+        )
     active = symbols[:used]
-    erased_symbols = active < 0
+    erased_symbols = (active < 0) | (active > 3)
     clean = np.where(erased_symbols, 0, active)
     wire = symbols_to_bytes(clean)
     byte_erasures = sorted(set(np.flatnonzero(erased_symbols) // 4))
 
-    interleaver = config.interleaver
-    coded = interleaver.unscramble(wire)
-    erasures = interleaver.map_erasures(list(byte_erasures), len(wire))
-
     message_len = config.message_bytes_per_frame
     try:
+        interleaver = config.interleaver
+        coded = interleaver.unscramble(wire)
+        erasures = interleaver.map_erasures(list(byte_erasures), len(wire))
         message = config.block_code.decode(coded, message_len, erasures=erasures)
     except RSDecodeError:
         try:
@@ -488,6 +625,18 @@ def assemble_frame(
                 erased_bytes=len(byte_erasures),
                 failure=f"RS decode failed: {exc}",
             )
+    except _UNEXPECTED_ERRORS as exc:
+        # A symbol vector the coding layer cannot even deinterleave
+        # (wrong length for the configured code, degenerate geometry
+        # upstream) is a lost frame, not a crash.
+        return FrameResult(
+            sequence=header.sequence,
+            ok=False,
+            payload=b"",
+            is_last=header.is_last,
+            erased_bytes=len(byte_erasures),
+            failure=f"assemble failed: {type(exc).__name__}: {exc}",
+        )
 
     payload, tail = message[:-2], message[-2:]
     checksum = (tail[0] << 8) | tail[1]

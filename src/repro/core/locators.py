@@ -90,6 +90,10 @@ def correct_location(
     height, width = image.shape[:2]
     half = max(block_size * 0.75, 1.5)
     point = np.asarray(point, dtype=np.float64).copy()
+    if not np.all(np.isfinite(point)) or not np.isfinite(half):
+        # A non-finite estimate (degenerate projection on a corrupted
+        # capture) can never be corrected; treat it like an empty window.
+        return None
 
     for __ in range(_MAX_CORRECTION_ITERS):
         x0 = int(np.floor(point[0] - half))
@@ -180,6 +184,8 @@ def find_first_middle_locator(
     image = np.asarray(image, dtype=np.float64)
     height, width = image.shape[:2]
     midpoint = np.asarray(midpoint, dtype=np.float64)
+    if not np.all(np.isfinite(midpoint)) or not np.isfinite(block_size):
+        raise LocatorError("middle-locator seed is not finite")
     half = 1.5 * block_size
     x0 = max(int(midpoint[0] - half), 0)
     x1 = min(int(midpoint[0] + half) + 1, width)

@@ -146,7 +146,19 @@ class StreamReassembler:
             return FrameResult(
                 sequence=seq, ok=False, payload=b"", failure="header never captured"
             )
-        return self._assemble(pending.header, pending.symbols)
+        try:
+            return self._assemble(pending.header, pending.symbols)
+        except Exception as exc:
+            # A pluggable assembler choking on corrupted symbols loses
+            # the frame, not the stream: report it as a failed frame so
+            # the transfer layer NACKs and retransmits.
+            return FrameResult(
+                sequence=seq,
+                ok=False,
+                payload=b"",
+                is_last=pending.header.is_last,
+                failure=f"assemble raised {type(exc).__name__}: {exc}",
+            )
 
     def flush(self) -> list[FrameResult]:
         """Finalize everything still pending (end of stream)."""

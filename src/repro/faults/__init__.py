@@ -1,0 +1,49 @@
+"""Deterministic fault injection for the simulated screen-camera channel.
+
+The subsystem has three parts:
+
+* :mod:`repro.faults.impairments` — the individual named degradations
+  (occlusion, glare, exposure drift, capture drops/duplicates, shutter
+  jitter, scanline corruption);
+* :mod:`repro.faults.plan` — :class:`FaultPlan`, the seedable
+  composition the channel hooks consume;
+* :mod:`repro.faults.scenarios` — the named fault matrix used by the
+  ``faults-campaign`` CLI and the regression tests.
+
+Everything is deterministic: a plan's seed fully fixes every draw, per
+capture and per fault, independent of call order or process pools.
+"""
+
+from .impairments import (
+    CaptureDrop,
+    CaptureDuplicate,
+    DisplayFlicker,
+    ExposureDrift,
+    Impairment,
+    PartialOcclusion,
+    ScanlineCorruption,
+    ShutterJitter,
+    SpecularGlare,
+)
+from .plan import FAULT_REGISTRY, IMAGE_STAGES, STAGES, FaultPlan
+from .scenarios import SCENARIO_SPECS, fault_matrix, scenario_names, scenario_plan
+
+__all__ = [
+    "Impairment",
+    "PartialOcclusion",
+    "SpecularGlare",
+    "ExposureDrift",
+    "DisplayFlicker",
+    "ShutterJitter",
+    "ScanlineCorruption",
+    "CaptureDrop",
+    "CaptureDuplicate",
+    "FaultPlan",
+    "FAULT_REGISTRY",
+    "IMAGE_STAGES",
+    "STAGES",
+    "SCENARIO_SPECS",
+    "scenario_names",
+    "scenario_plan",
+    "fault_matrix",
+]

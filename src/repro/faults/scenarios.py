@@ -1,0 +1,58 @@
+"""The named fault matrix the campaign runner and regression tests sweep.
+
+Each scenario is a :class:`~repro.faults.plan.FaultPlan` spec capturing
+one failure family reported by screen-to-camera deployments: occlusion
+(finger, edge), specular glare, exposure and white-balance drift, lost
+and duplicated captures, shutter jitter, scanline corruption, and one
+"kitchen sink" combination.  Severities are tuned so that faults bite —
+frames fail and must be recovered via NACK retransmission — without
+making delivery hopeless at campaign scale.
+"""
+
+from __future__ import annotations
+
+from .plan import FaultPlan
+
+__all__ = ["SCENARIO_SPECS", "scenario_names", "scenario_plan", "fault_matrix"]
+
+#: name -> {fault_name: kwargs} spec, in campaign report order.
+SCENARIO_SPECS: dict[str, dict] = {
+    "clean": {},
+    "occlusion_finger": {"occlusion": {"kind": "finger", "coverage": 0.22}},
+    "occlusion_edge": {"occlusion": {"kind": "edge", "coverage": 0.12}},
+    "glare": {"glare": {"patches": 2, "radius_frac": 0.10, "strength": 0.85}},
+    "overexposed": {"exposure_drift": {"amplitude": 0.10, "bias": 0.45}},
+    "underexposed": {"exposure_drift": {"amplitude": 0.10, "bias": -0.55}},
+    "wb_drift": {"exposure_drift": {"amplitude": 0.08, "wb_amplitude": 0.18}},
+    "display_flicker": {"display_flicker": {"amplitude": 0.45, "period_frames": 2.5}},
+    "capture_drops": {"capture_drop": {"probability": 0.35}},
+    "capture_duplicates": {"capture_duplicate": {"probability": 0.5}},
+    "shutter_jitter": {"shutter_jitter": {"sigma_s": 0.006, "max_s": 0.015}},
+    "scanline": {"scanline": {"row_probability": 0.05, "mode": "noise"}},
+    "combined": {
+        "glare": {"patches": 1, "radius_frac": 0.08, "strength": 0.7},
+        "exposure_drift": {"amplitude": 0.12, "bias": 0.1},
+        "capture_drop": {"probability": 0.15},
+        "shutter_jitter": {"sigma_s": 0.004, "max_s": 0.01},
+    },
+}
+
+
+def scenario_names() -> list[str]:
+    """All scenario names, in report order."""
+    return list(SCENARIO_SPECS)
+
+
+def scenario_plan(name: str, seed: int = 0) -> FaultPlan:
+    """The :class:`FaultPlan` for scenario *name*, seeded with *seed*."""
+    try:
+        spec = SCENARIO_SPECS[name]
+    except KeyError:
+        known = ", ".join(SCENARIO_SPECS)
+        raise ValueError(f"unknown scenario {name!r} (known: {known})") from None
+    return FaultPlan.from_spec(spec, seed=seed, name=name)
+
+
+def fault_matrix(names: list[str] | None = None, seed: int = 0) -> list[FaultPlan]:
+    """Plans for *names* (default: every scenario), in order."""
+    return [scenario_plan(n, seed=seed) for n in (names or scenario_names())]

@@ -67,6 +67,15 @@ def bilinear_coeffs(
     xs = np.asarray(xs, dtype=np.float64)
     ys = np.asarray(ys, dtype=np.float64)
 
+    finite = np.isfinite(xs) & np.isfinite(ys)
+    if not finite.all():
+        # Non-finite sample points (degenerate homographies, failed
+        # locator walks on corrupted captures) count as out of bounds;
+        # substituting -1 keeps the index arithmetic below well-defined
+        # (NaN would otherwise turn into an arbitrary int64 index).
+        xs = np.where(finite, xs, -1.0)
+        ys = np.where(finite, ys, -1.0)
+
     inside = (xs >= 0.0) & (xs <= width - 1.0) & (ys >= 0.0) & (ys <= height - 1.0)
 
     x0 = np.clip(np.floor(xs), 0, width - 1).astype(np.int64)

@@ -52,6 +52,10 @@ class PayloadAssembler:
             return []
         return [seq for seq in range(upper + 1) if seq not in self._payloads]
 
+    def has(self, sequence: int) -> bool:
+        """True when frame *sequence* has been received intact."""
+        return sequence in self._payloads
+
     @property
     def complete(self) -> bool:
         """True when every frame up to the last one has arrived."""

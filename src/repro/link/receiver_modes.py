@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core.decoder import DecodeError, FrameDecoder, FrameResult
+from ..core.decoder import DecodeDiagnostics, FrameDecoder, FrameResult
 from ..core.sync import StreamReassembler
 
 __all__ = ["ReceiverReport", "BufferedReceiver", "RealTimeReceiver"]
@@ -40,8 +40,18 @@ class ReceiverReport:
     captures_decoded: int = 0
     captures_dropped_busy: int = 0
     captures_dropped_error: int = 0
+    #: Error drops binned by failing pipeline stage (the
+    #: :class:`~repro.core.decoder.DecodeFailure` taxonomy); values sum
+    #: to ``captures_dropped_error``.
+    drop_reasons: dict[str, int] = field(default_factory=dict)
     decode_time_total_s: float = 0.0
     results: list[FrameResult] = field(default_factory=list)
+
+    def record_drop(self, diagnostics: DecodeDiagnostics) -> None:
+        """Count one undecodable capture under its failure stage."""
+        self.captures_dropped_error += 1
+        stage = diagnostics.failure.stage if diagnostics.failure else "capture"
+        self.drop_reasons[stage] = self.drop_reasons.get(stage, 0) + 1
 
     @property
     def mean_decode_time_s(self) -> float:
@@ -67,13 +77,11 @@ class BufferedReceiver:
         for capture in captures:
             self.report.captures_seen += 1
             started = time.perf_counter()
-            try:
-                extraction = self.decoder.extract(capture.image)
-            except DecodeError:
-                self.report.captures_dropped_error += 1
+            extraction, diagnostics = self.decoder.extract_diagnosed(capture.image)
+            self.report.decode_time_total_s += time.perf_counter() - started
+            if extraction is None:
+                self.report.record_drop(diagnostics)
                 continue
-            finally:
-                self.report.decode_time_total_s += time.perf_counter() - started
             self.report.captures_decoded += 1
             self.report.results.extend(self.reassembler.add_capture(extraction))
         self.report.results.extend(self.reassembler.flush())
@@ -113,19 +121,14 @@ class RealTimeReceiver:
                 self.report.captures_dropped_busy += 1
                 continue
             started = time.perf_counter()
-            try:
-                extraction = self.decoder.extract(capture.image)
-            except DecodeError:
-                elapsed = time.perf_counter() - started
-                cost = self._cost(elapsed)
-                self.report.decode_time_total_s += cost
-                busy_until = capture.time + cost
-                self.report.captures_dropped_error += 1
-                continue
+            extraction, diagnostics = self.decoder.extract_diagnosed(capture.image)
             elapsed = time.perf_counter() - started
             cost = self._cost(elapsed)
             self.report.decode_time_total_s += cost
             busy_until = capture.time + cost
+            if extraction is None:
+                self.report.record_drop(diagnostics)
+                continue
             self.report.captures_decoded += 1
             self.report.results.extend(self.reassembler.add_capture(extraction))
         self.report.results.extend(self.reassembler.flush())

@@ -14,15 +14,19 @@ and reports the timing/goodput accounting every benchmark consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..channel.link import LinkConfig, ScreenCameraLink
 from ..channel.screen import FrameSchedule
-from ..core.decoder import DecodeError, FrameDecoder
+from ..core.decoder import FrameDecoder
 from ..core.encoder import FrameCodecConfig, FrameEncoder
 from ..core.sync import StreamReassembler
 from .reassembly import PayloadAssembler
+
+if TYPE_CHECKING:
+    from ..faults.plan import FaultPlan
 
 __all__ = ["FeedbackChannel", "SessionStats", "TransferSession"]
 
@@ -57,6 +61,12 @@ class SessionStats:
     frames_sent: int = 0  # including retransmissions
     captures: int = 0
     captures_dropped: int = 0
+    #: Undecodable captures binned by the failing pipeline stage (the
+    #: :class:`~repro.core.decoder.DecodeFailure` taxonomy); values sum
+    #: to ``captures_dropped``.
+    drop_reasons: dict[str, int] = field(default_factory=dict)
+    #: Frame results that failed verification and had to be re-NACKed.
+    frames_failed: int = 0
     display_time_s: float = 0.0
     payload_bytes: int = 0
 
@@ -76,7 +86,13 @@ class SessionStats:
 
 
 class TransferSession:
-    """One sender, one receiver, one payload, as many rounds as needed."""
+    """One sender, one receiver, one payload, as many rounds as needed.
+
+    *faults* attaches a :class:`~repro.faults.plan.FaultPlan` to every
+    round's schedule and link, so injected impairments hit each
+    (re)transmission; the NACK loop is then exactly the recovery path
+    the fault campaign measures.
+    """
 
     def __init__(
         self,
@@ -85,6 +101,7 @@ class TransferSession:
         feedback: FeedbackChannel | None = None,
         rng: np.random.Generator | None = None,
         decoder_kwargs: dict | None = None,
+        faults: "FaultPlan | None" = None,
     ):
         self.codec_config = codec_config
         self.link_config = link_config or LinkConfig()
@@ -92,6 +109,7 @@ class TransferSession:
         self.rng = rng or np.random.default_rng(0x5E55)
         self.encoder = FrameEncoder(codec_config)
         self.decoder = FrameDecoder(codec_config, **(decoder_kwargs or {}))
+        self.faults = faults
 
     def transmit(self, payload: bytes, max_rounds: int = 5) -> tuple[bytes | None, SessionStats]:
         """Send *payload*; returns ``(payload_or_None, stats)``.
@@ -112,7 +130,12 @@ class TransferSession:
             stats.frames_sent += len(outstanding)
             self._run_round([frames[i] for i in outstanding], assembler, stats)
 
-            nacks = [seq for seq in outstanding if seq in set(assembler.missing())]
+            # NACK every outstanding frame not yet received.  (Deriving
+            # the list from ``assembler.missing()`` alone would go
+            # silent — and wrongly end the session — whenever a round
+            # decoded nothing at all, or lost only frames above the
+            # highest received sequence before the last frame was seen.)
+            nacks = [seq for seq in outstanding if not assembler.has(seq)]
             # Frames decoded this round leave the outstanding set even if
             # the NACK list is lost (the sender would then resend them,
             # modeled by keeping outstanding unchanged).
@@ -132,8 +155,9 @@ class TransferSession:
             images,
             display_rate=self.codec_config.display_rate,
             brightness=self.link_config_brightness(),
+            faults=self.faults,
         )
-        link = ScreenCameraLink(self.link_config, rng=self.rng)
+        link = ScreenCameraLink(self.link_config, rng=self.rng, faults=self.faults)
         reassembler = StreamReassembler(self.codec_config)
 
         # Sequence numbers inside a retransmission round are not
@@ -144,13 +168,15 @@ class TransferSession:
         results = []
         for capture in link.capture_stream(schedule):
             stats.captures += 1
-            try:
-                extraction = self.decoder.extract(capture.image)
-            except DecodeError:
+            extraction, diagnostics = self.decoder.extract_diagnosed(capture.image)
+            if extraction is None:
                 stats.captures_dropped += 1
+                stage = diagnostics.failure.stage if diagnostics.failure else "capture"
+                stats.drop_reasons[stage] = stats.drop_reasons.get(stage, 0) + 1
                 continue
             results.extend(reassembler.add_capture(extraction))
         results.extend(reassembler.flush())
+        stats.frames_failed += sum(1 for r in results if not r.ok)
         assembler.add_all(results)
         stats.display_time_s += schedule.duration
 

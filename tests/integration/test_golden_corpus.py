@@ -1,0 +1,61 @@
+"""Golden regression corpus: captured fixtures with pinned decode outcomes.
+
+The PNGs under ``tests/fixtures/corpus/`` were produced by
+``tests/fixtures/regen_corpus.py``; ``expected.json`` records what the
+decoder did with each at generation time.  These tests re-decode the
+fixtures and demand identical outcomes — any drift (a capture that
+starts failing, stops failing, changes its failure stage or its
+erasure count) is a behavioural change that must be reviewed and, if
+intentional, re-pinned by regenerating the corpus.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.decoder import DECODE_STAGES, FrameDecoder
+from repro.core.encoder import FrameCodecConfig
+from repro.core.layout import FrameLayout
+from repro.io import read_png
+
+CORPUS_DIR = Path(__file__).parent.parent / "fixtures" / "corpus"
+EXPECTED = json.loads((CORPUS_DIR / "expected.json").read_text())
+
+
+def _decoder() -> FrameDecoder:
+    # Must match tests/fixtures/regen_corpus.py's GRID.
+    layout = FrameLayout(grid_rows=24, grid_cols=44, block_px=8)
+    return FrameDecoder(FrameCodecConfig(layout=layout, display_rate=10))
+
+
+def test_corpus_is_complete():
+    names = {p.stem for p in CORPUS_DIR.glob("*.png")}
+    assert names == set(EXPECTED), "corpus PNGs and expected.json disagree"
+    assert len(names) >= 6
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_fixture_decodes_as_pinned(name):
+    expected = EXPECTED[name]
+    image = read_png(CORPUS_DIR / f"{name}.png").astype(np.float64) / 255.0
+    extraction, diagnostics = _decoder().extract_diagnosed(image)
+
+    if not expected["decodes"]:
+        assert extraction is None, f"{name}: now decodes but was pinned as failing"
+        assert diagnostics.failure is not None
+        assert diagnostics.failure.stage == expected["failure_stage"]
+        assert diagnostics.failure.stage in DECODE_STAGES
+        return
+
+    assert extraction is not None, (
+        f"{name}: pinned as decoding but failed: {diagnostics.failure}"
+    )
+    assert extraction.header.sequence == expected["sequence"]
+    assert extraction.has_next_frame_rows == expected["has_next_frame_rows"]
+    assert int(np.sum(extraction.data_symbols < 0)) == expected["erased_symbols"]
+    assert int(np.sum(extraction.row_assignment == 1)) == expected["rows_next_frame"]
+    assert int(np.sum(extraction.row_assignment == -1)) == expected["rows_ambiguous"]
