@@ -25,11 +25,13 @@ from pathlib import Path
 
 import numpy as np
 
+from .. import telemetry
 from ..channel.link import LinkConfig
 from ..core.encoder import FrameCodecConfig
 from ..core.layout import FrameLayout
 from ..faults import scenario_names, scenario_plan
 from ..link.session import TransferSession
+from ..telemetry.metrics import MetricsRegistry, merge_snapshots
 from .parallel import run_trials_parallel
 
 __all__ = [
@@ -62,6 +64,9 @@ class FaultTrialResult:
     captures: int
     captures_dropped: int
     drop_reasons: dict = field(default_factory=dict)
+    #: Deterministic telemetry snapshot of the trial (no timing metrics),
+    #: as produced by :meth:`repro.telemetry.MetricsRegistry.snapshot`.
+    metrics: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -81,6 +86,9 @@ class ScenarioSummary:
     captures: int = 0
     captures_dropped: int = 0
     drop_reasons: dict = field(default_factory=dict)
+    #: Merged per-trial telemetry snapshots (fold order = job order, so
+    #: the merge is bit-identical across worker counts).
+    metrics: dict = field(default_factory=dict)
 
     @property
     def delivery_rate(self) -> float:
@@ -108,6 +116,28 @@ class ScenarioSummary:
         self.captures_dropped += trial.captures_dropped
         for stage, count in trial.drop_reasons.items():
             self.drop_reasons[stage] = self.drop_reasons.get(stage, 0) + count
+        if trial.metrics:
+            self.metrics = merge_snapshots([self.metrics, trial.metrics] if self.metrics
+                                           else [trial.metrics])
+
+    @property
+    def failure_stages(self) -> dict[str, int]:
+        """Failure-stage histogram from the merged telemetry counters.
+
+        Parses ``decode.failures{stage=...}`` out of the merged metrics
+        snapshot.  A superset of ``drop_reasons``: the hand-kept dict
+        only sees capture-level drops, while the registry also counts
+        frame-level ``assemble`` failures (RS/CRC rejects during
+        finalization) under the same :data:`DECODE_STAGES` taxonomy.
+        On every capture-level stage the two agree — the telemetry
+        integration test asserts it.
+        """
+        out: dict[str, int] = {}
+        prefix = "decode.failures{stage="
+        for key, value in self.metrics.get("counters", {}).items():
+            if key.startswith(prefix) and key.endswith("}"):
+                out[key[len(prefix):-1]] = int(value)
+        return out
 
 
 def _campaign_config(num_frames: int) -> tuple[FrameCodecConfig, LinkConfig, int]:
@@ -143,7 +173,13 @@ def run_fault_trial(
         rng=np.random.default_rng([seed, zlib.crc32(scenario.encode())]),
         faults=scenario_plan(scenario, seed=seed),
     )
-    recovered, stats = session.transmit(payload, max_rounds=max_rounds)
+    # Collect this trial's metrics into a private registry, so the
+    # deterministic snapshot travels with the (picklable) result no
+    # matter which worker process ran it.  Timing metrics are excluded:
+    # the snapshot must be a pure function of (scenario, seed).
+    registry = MetricsRegistry()
+    with telemetry.scoped(registry=registry):
+        recovered, stats = session.transmit(payload, max_rounds=max_rounds)
     return FaultTrialResult(
         scenario=scenario,
         seed=seed,
@@ -155,6 +191,7 @@ def run_fault_trial(
         captures=stats.captures,
         captures_dropped=stats.captures_dropped,
         drop_reasons=dict(stats.drop_reasons),
+        metrics=registry.snapshot(include_timing=False),
     )
 
 
@@ -216,6 +253,8 @@ def campaign_to_json(trials: list[FaultTrialResult], summaries: list[ScenarioSum
                 "captures": s.captures,
                 "captures_dropped": s.captures_dropped,
                 "drop_reasons": dict(sorted(s.drop_reasons.items())),
+                "failure_stages": dict(sorted(s.failure_stages.items())),
+                "metrics": s.metrics,
             }
             for s in summaries
         ],

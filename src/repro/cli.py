@@ -8,9 +8,13 @@ Commands
 ``capacity``  print the Section III-B capacity comparison
 ``info``      describe a saved frame stream
 ``faults-campaign``  sweep the fault-injection matrix across seeds
+``telemetry``  report on a ``REPRO_TELEMETRY=1`` run's artifacts
 
 The CLI wraps the same public API the examples use; it exists so the
-library is drivable without writing Python.
+library is drivable without writing Python.  When ``REPRO_TELEMETRY=1``
+is set, every command flushes its trace/metrics artifacts to
+``$REPRO_TELEMETRY_DIR`` (default ``telemetry/``) on exit; ``repro
+telemetry report`` then renders them.
 """
 
 from __future__ import annotations
@@ -82,6 +86,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default="benchmarks/results",
         help="output directory for the .txt/.json tables ('-' prints only)",
     )
+
+    tel = sub.add_parser(
+        "telemetry",
+        help="inspect a REPRO_TELEMETRY=1 run's artifacts",
+        description=(
+            "Merges the event shards under the telemetry directory, "
+            "aggregates the trace and metrics, and renders per-stage "
+            "latency tables plus the failure-stage breakdown."
+        ),
+    )
+    tel_sub = tel.add_subparsers(dest="telemetry_command", required=True)
+    rep = tel_sub.add_parser("report", help="render the telemetry report")
+    rep.add_argument(
+        "--dir", default=None,
+        help="telemetry directory (default: $REPRO_TELEMETRY_DIR or telemetry/)",
+    )
+    rep.add_argument(
+        "--out", default="benchmarks/results",
+        help="write T1_telemetry_report.{txt,json} here ('-' prints only)",
+    )
+    rep.add_argument(
+        "--check", action="store_true",
+        help="validate the artifacts (schema, run header, trace coverage); "
+             "exit non-zero on problems",
+    )
     return parser
 
 
@@ -118,6 +147,7 @@ def _cmd_encode(args) -> int:
 
 
 def _cmd_decode(args) -> int:
+    from . import telemetry
     from .core.decoder import DecodeError, FrameDecoder
     from .core.sync import StreamReassembler
     from .io import load_captures
@@ -132,11 +162,18 @@ def _cmd_decode(args) -> int:
     for capture in captures:
         try:
             extraction = decoder.extract(capture.image)
-        except DecodeError:
+        except DecodeError as exc:
             dropped += 1
+            telemetry.emit("capture_dropped", stage=exc.stage)
             continue
-        assembler.add_all(reassembler.add_capture(extraction))
-    assembler.add_all(reassembler.flush())
+        results = reassembler.add_capture(extraction)
+        for result in results:
+            telemetry.emit("frame", sequence=result.sequence, ok=result.ok)
+        assembler.add_all(results)
+    tail = reassembler.flush()
+    for result in tail:
+        telemetry.emit("frame", sequence=result.sequence, ok=result.ok)
+    assembler.add_all(tail)
 
     print(
         f"{len(captures)} captures, {dropped} dropped; "
@@ -155,6 +192,7 @@ def _cmd_decode(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
+    from . import telemetry
     from .channel.link import LinkConfig, ScreenCameraLink
     from .channel.screen import FrameSchedule
     from .core.decoder import DecodeError, FrameDecoder
@@ -183,9 +221,12 @@ def _cmd_simulate(args) -> int:
     for capture in captures:
         try:
             results.extend(reassembler.add_capture(decoder.extract(capture.image)))
-        except DecodeError:
+        except DecodeError as exc:
             dropped += 1
+            telemetry.emit("capture_dropped", stage=exc.stage)
     results.extend(reassembler.flush())
+    for result in results:
+        telemetry.emit("frame", sequence=result.sequence, ok=result.ok)
     recovered = b"".join(
         r.payload for r in sorted(results, key=lambda r: r.sequence) if r.ok
     )[: len(message)]
@@ -260,6 +301,33 @@ def _cmd_faults_campaign(args) -> int:
     return 0
 
 
+def _cmd_telemetry(args) -> int:
+    from . import telemetry
+    from .telemetry.report import build_report, check_report, format_report, write_report
+
+    directory = Path(args.dir) if args.dir else telemetry.output_dir()
+    if not directory.is_dir():
+        print(f"no telemetry directory at {directory} "
+              f"(run something with {telemetry.ENV_TOGGLE}=1 first)", file=sys.stderr)
+        return 2
+
+    if args.check:
+        problems = check_report(directory)
+        if problems:
+            for problem in problems:
+                print(f"check: {problem}", file=sys.stderr)
+            return 1
+        print(f"telemetry artifacts under {directory} are consistent")
+        return 0
+
+    report = build_report(directory)
+    print(format_report(report))
+    if args.out != "-":
+        txt, js = write_report(report, args.out)
+        print(f"\nwrote {txt} and {js}")
+    return 0
+
+
 _COMMANDS = {
     "encode": _cmd_encode,
     "decode": _cmd_decode,
@@ -267,13 +335,22 @@ _COMMANDS = {
     "capacity": _cmd_capacity,
     "info": _cmd_info,
     "faults-campaign": _cmd_faults_campaign,
+    "telemetry": _cmd_telemetry,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    from . import telemetry
+
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    code = _COMMANDS[args.command](args)
+    # Environment-enabled runs leave their trace/metrics behind for the
+    # `telemetry report` subcommand (which must not clobber the very
+    # artifacts it is reading).
+    if args.command != "telemetry" and telemetry.env_enabled() and telemetry.enabled():
+        telemetry.flush()
+    return code
 
 
 if __name__ == "__main__":

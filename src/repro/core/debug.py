@@ -1,9 +1,10 @@
-"""Decode-pipeline debugging helpers: stage timers and visualization.
+"""Decode-pipeline debugging helpers: geometry visualization.
 
-:class:`StageTimer` accumulates wall-clock time per named pipeline
-stage; :class:`FrameDecoder` threads one through ``extract`` and
-surfaces the result as ``DecodeDiagnostics.stage_ms``, which is what
-bench E10 reports as the per-stage decode breakdown.
+Per-stage timing lives in :mod:`repro.telemetry` now: ``FrameDecoder``
+runs every pipeline stage inside a tracing span (the old ``StageTimer``
+was subsumed by :class:`repro.telemetry.trace.Tracer`) and derives
+``DecodeDiagnostics.stage_ms`` — the per-stage decode breakdown bench
+E10 reports — from those spans, so its shape is unchanged.
 
 When a capture fails to decode, the fastest way to see why is to paint
 the recovered geometry back onto the image: corner trackers, locator
@@ -14,43 +15,15 @@ in tests.
 
 from __future__ import annotations
 
-import time
-from contextlib import contextmanager
 from typing import TYPE_CHECKING
 
 import numpy as np
 
-if TYPE_CHECKING:  # imported lazily at runtime: decoder imports StageTimer
+if TYPE_CHECKING:
     from .decoder import CaptureExtraction, FrameDecoder
 
-__all__ = ["StageTimer", "geometry_overlay", "describe_extraction"]
+__all__ = ["geometry_overlay", "describe_extraction"]
 
-
-class StageTimer:
-    """Accumulates wall-clock seconds per named pipeline stage.
-
-    Used as ``with timer.stage("corners"): ...``; re-entering a stage
-    name adds to its total, so per-capture loops aggregate naturally.
-    The timer costs two ``perf_counter`` calls per stage — negligible
-    against the numpy work it brackets.
-    """
-
-    __slots__ = ("stages",)
-
-    def __init__(self) -> None:
-        self.stages: dict[str, float] = {}
-
-    @contextmanager
-    def stage(self, name: str):
-        t0 = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.stages[name] = self.stages.get(name, 0.0) + (time.perf_counter() - t0)
-
-    def as_ms(self) -> dict[str, float]:
-        """Stage totals in milliseconds, in insertion (pipeline) order."""
-        return {name: seconds * 1000.0 for name, seconds in self.stages.items()}
 
 _MARKER = {
     "corner": (1.0, 1.0, 0.0),  # yellow crosses on CT centers

@@ -24,13 +24,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import telemetry
 from ..coding.crc import crc16
 from ..coding.reed_solomon import RSDecodeError
+from ..telemetry.metrics import DECODE_LATENCY_BUCKETS_MS, TRACKING_DT_BUCKETS
+from ..telemetry.trace import Span, Tracer
 from .blocks import BlockLocalizer
 from .blur import sharpness_score
 from .brightness import DEFAULT_T_SAT, estimate_black_threshold
 from .corners import CornerDetectionError, detect_corner_trackers
-from .debug import StageTimer
 from .encoder import FrameCodecConfig
 from .header import HEADER_BYTES, FrameHeader, HeaderError
 from .layout import FrameLayout
@@ -226,27 +228,42 @@ class FrameDecoder:
         unexpected numeric/indexing error from a corrupted capture is
         converted to one tagged with the stage it escaped from, so a
         fault-injected image can degrade the link but never crash it.
+
+        Every stage runs inside a telemetry span.  When a tracer is
+        active the whole extraction nests under the caller's trace
+        (``channel.capture`` > ``decode.extract`` > per-stage spans);
+        otherwise a throwaway local tracer records the same spans so
+        ``DecodeDiagnostics.stage_ms`` is populated either way.
         """
-        timer = StageTimer()
+        tracer = telemetry.active_tracer() or Tracer()
+        registry = telemetry.registry()
         current = "input"
 
         def stage(name: str):
             nonlocal current
             current = name
-            return timer.stage(name)
+            return tracer.span(name)
 
-        try:
-            return self._extract_stages(image, timer, stage)
-        except DecodeError:
-            raise
-        except _UNEXPECTED_ERRORS as exc:
-            raise DecodeError(
-                f"{type(exc).__name__} during {current}: {exc}",
-                stage=current,
-                exception=type(exc).__name__,
-            ) from exc
+        with tracer.span("decode.extract") as root:
+            try:
+                extraction = self._extract_stages(image, stage, root)
+            except DecodeError as exc:
+                registry.counter("decode.failures", stage=exc.stage).inc()
+                raise
+            except _UNEXPECTED_ERRORS as exc:
+                registry.counter("decode.failures", stage=current).inc()
+                raise DecodeError(
+                    f"{type(exc).__name__} during {current}: {exc}",
+                    stage=current,
+                    exception=type(exc).__name__,
+                ) from exc
+        registry.counter("decode.captures_ok").inc()
+        registry.histogram(
+            "decode.latency_ms", DECODE_LATENCY_BUCKETS_MS, timing=True
+        ).observe(root.duration_ms)
+        return extraction
 
-    def _extract_stages(self, image: np.ndarray, timer: StageTimer, stage) -> CaptureExtraction:
+    def _extract_stages(self, image: np.ndarray, stage, root: Span) -> CaptureExtraction:
         with stage("input"):
             image = np.asarray(image, dtype=np.float64)
             if image.ndim != 3 or image.shape[-1] != 3 or image.size == 0:
@@ -330,6 +347,12 @@ class FrameDecoder:
 
         with stage("diagnostics"):
             sharpness = sharpness_score(image)
+        # Backward-compatible stage breakdown, derived from the trace:
+        # direct children of the extract span are exactly the pipeline
+        # stages, in pipeline order (bench E10's output shape).
+        stage_ms: dict[str, float] = {}
+        for child in root.children:
+            stage_ms[child.name] = stage_ms.get(child.name, 0.0) + child.duration_ms
         diagnostics = DecodeDiagnostics(
             t_value=brightness.t_value,
             block_size=corners.block_size,
@@ -341,7 +364,7 @@ class FrameDecoder:
             / 3.0,
             corner_purity=min(corners.left.purity, corners.right.purity),
             sharpness=sharpness,
-            stage_ms=timer.as_ms(),
+            stage_ms=stage_ms,
         )
         # Rows at the rolling-shutter split are exposure-blended: their
         # symbols are the least trustworthy of any capture that holds
@@ -568,6 +591,15 @@ def _assign_rows(
     disagree = (left_sym >= 0) & (right_sym >= 0) & (left_sym != right_sym)
     indicator = np.where(left_sym >= 0, left_sym, right_sym)
     d_t = tracking_bar_difference(indicator, frame_indicator)
+    registry = telemetry.registry()
+    if registry:
+        readable = indicator >= 0
+        registry.histogram("decode.tracking_d_t", TRACKING_DT_BUCKETS).observe_many(
+            d_t[readable]
+        )
+        registry.counter("decode.tracking_rows_unreadable").inc(
+            int(np.sum(~readable) + np.sum(disagree))
+        )
     usable = (indicator >= 0) & ~disagree & (d_t <= 1)
     return np.where(usable, d_t, -1).astype(np.int64)
 
@@ -593,6 +625,21 @@ def assemble_frame(
     capture) is padded with erasures, and any coding-layer exception
     becomes a failed :class:`FrameResult` rather than a raise.
     """
+    with telemetry.span("decode.assemble"):
+        result = _assemble_frame(config, header, symbols)
+    registry = telemetry.registry()
+    if registry:
+        registry.counter("decode.frames", ok=str(result.ok).lower()).inc()
+        if not result.ok:
+            registry.counter("decode.failures", stage="assemble").inc()
+    return result
+
+
+def _assemble_frame(
+    config: FrameCodecConfig,
+    header: FrameHeader,
+    symbols: np.ndarray,
+) -> FrameResult:
     symbols = np.asarray(symbols, dtype=np.int64)
     used = 4 * config.coded_bytes_per_frame
     if len(symbols) < used:

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import telemetry
 from ..coding.crc import crc16
 from ..coding.interleave import Interleaver
 from ..coding.reed_solomon import BlockCode
@@ -108,7 +109,8 @@ class Frame:
 
     def render(self) -> np.ndarray:
         """The frame as an RGB display image (floats in [0, 1])."""
-        return render_grid(self.grid, self.layout)
+        with telemetry.span("encode.render"):
+            return render_grid(self.grid, self.layout)
 
 
 class FrameEncoder:
@@ -129,6 +131,10 @@ class FrameEncoder:
         zero-padded); longer payloads are rejected — segmentation is the
         transfer layer's job.
         """
+        with telemetry.span("encode.frame"):
+            return self._encode_frame(payload, sequence, is_last)
+
+    def _encode_frame(self, payload: bytes, sequence: int, is_last: bool) -> Frame:
         cfg = self.config
         if len(payload) > cfg.payload_bytes_per_frame:
             raise ValueError(

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import telemetry
 from ..imaging.segmentation import component_stats, connected_components
 from .palette import Color
 from .recognition import ColorClassifier
@@ -136,6 +137,20 @@ def walk_locator_column(
     """
     if count < 1:
         raise ValueError("count must be >= 1")
+    with telemetry.span("locators.walk", column=column):
+        column_result = _walk_locator_column(
+            image, classifier, start, initial_step, count, block_size, column, start_row
+        )
+    registry = telemetry.registry()
+    if registry:
+        registry.counter("locators.walked").inc(count)
+        registry.counter("locators.refined").inc(int(column_result.refined.sum()))
+    return column_result
+
+
+def _walk_locator_column(
+    image, classifier, start, initial_step, count, block_size, column, start_row
+) -> LocatorColumn:
     positions = np.zeros((count, 2))
     refined = np.zeros(count, dtype=bool)
 
@@ -181,6 +196,15 @@ def find_first_middle_locator(
 
     Raises :exc:`LocatorError` when the window holds no plausible block.
     """
+    with telemetry.span("locators.first_middle"):
+        return _find_first_middle_locator(
+            image, classifier, midpoint, block_size, min_block_px, max_block_px
+        )
+
+
+def _find_first_middle_locator(
+    image, classifier, midpoint, block_size, min_block_px, max_block_px
+) -> np.ndarray:
     image = np.asarray(image, dtype=np.float64)
     height, width = image.shape[:2]
     midpoint = np.asarray(midpoint, dtype=np.float64)

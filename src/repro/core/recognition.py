@@ -21,12 +21,20 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import telemetry
 from ..imaging.color import rgb_to_hsv
 from ..imaging.interpolation import sample_bilinear
+from ..telemetry.metrics import MARGIN_BUCKETS
 from .brightness import DEFAULT_T_SAT
 from .palette import Color
 
-__all__ = ["ColorClassifier", "classify_hsv", "classify_rgb_nearest", "sample_block_colors"]
+__all__ = [
+    "ColorClassifier",
+    "classify_hsv",
+    "classify_rgb_nearest",
+    "classification_margins",
+    "sample_block_colors",
+]
 
 _GREEN_LO, _GREEN_HI = 60.0, 180.0
 _BLUE_HI = 300.0
@@ -46,6 +54,32 @@ def classify_hsv(
     out[sat < t_sat] = int(Color.WHITE)
     out[val < t_value] = int(Color.BLACK)
     return out
+
+
+def classification_margins(
+    hsv: np.ndarray,
+    t_value: float,
+    t_sat: float = DEFAULT_T_SAT,
+) -> np.ndarray:
+    """Normalized distance of each HSV pixel to its decision boundary.
+
+    The margin is the smallest normalized distance to any threshold the
+    classifier consults: the value threshold T_v (black), the
+    saturation threshold T_sat (white), and the nearest hue sector edge
+    (60 / 180 / 300 degrees, circular, normalized by the 60-degree
+    half-sector).  A margin near 0 means the block sat on a decision
+    boundary and was one noise photon away from flipping class —
+    exactly the per-block confidence signal the telemetry histograms
+    track.
+    """
+    hsv = np.asarray(hsv, dtype=np.float64)
+    hue, sat, val = hsv[..., 0], hsv[..., 1], hsv[..., 2]
+    margin_val = np.abs(val - t_value) / max(t_value, 1e-9)
+    margin_sat = np.abs(sat - t_sat) / max(t_sat, 1e-9)
+    edges = np.array([_GREEN_LO, _GREEN_HI, _BLUE_HI])
+    circ = np.abs(hue[..., np.newaxis] - edges)
+    margin_hue = np.minimum(circ, 360.0 - circ).min(axis=-1) / 60.0
+    return np.clip(np.minimum(np.minimum(margin_val, margin_sat), margin_hue), 0.0, 1.0)
 
 
 def sample_block_colors(
@@ -104,6 +138,17 @@ class ColorClassifier:
     def classify_centers(self, image: np.ndarray, centers: np.ndarray) -> np.ndarray:
         """Color index of the block at each ``(x, y)`` center."""
         rgb = sample_block_colors(image, centers, self.mean_filter_radius)
+        registry = telemetry.registry()
+        if registry and self.mode == "hsv":
+            # Per-block confidence: how far each classified center sat
+            # from the nearest HSV decision boundary.  Only computed
+            # when a metrics registry is live — the disabled path pays
+            # nothing beyond this falsy check.
+            hsv = rgb_to_hsv(rgb)
+            registry.histogram("classify.margin", MARGIN_BUCKETS).observe_many(
+                classification_margins(hsv, self.t_value, self.t_sat)
+            )
+            return classify_hsv(hsv, self.t_value, self.t_sat)
         return self.classify_pixels_denoised(rgb)
 
     def black_mask(self, image: np.ndarray) -> np.ndarray:

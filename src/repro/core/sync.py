@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import telemetry
 from .decoder import CaptureExtraction, FrameResult, assemble_frame
 from .encoder import FrameCodecConfig
 from .header import FrameHeader
@@ -74,9 +75,14 @@ class StreamReassembler:
 
     def add_capture(self, extraction: CaptureExtraction) -> list[FrameResult]:
         """Fold one capture in; returns any frames finalized by its arrival."""
+        with telemetry.span("sync.add_capture"):
+            return self._add_capture(extraction)
+
+    def _add_capture(self, extraction: CaptureExtraction) -> list[FrameResult]:
         seq = extraction.header.sequence
         layout = self.config.layout
         sharp = extraction.diagnostics.sharpness
+        telemetry.registry().counter("sync.captures_merged").inc()
 
         for offset in (0, 1):
             rows = np.flatnonzero(extraction.row_assignment == offset)
@@ -137,6 +143,16 @@ class StreamReassembler:
         return out
 
     def _finalize(self, seq: int) -> FrameResult:
+        with telemetry.span("sync.finalize"):
+            result = self._finalize_inner(seq)
+        registry = telemetry.registry()
+        if registry:
+            registry.counter("sync.frames_finalized").inc()
+            if not result.ok:
+                registry.counter("sync.frames_failed").inc()
+        return result
+
+    def _finalize_inner(self, seq: int) -> FrameResult:
         pending = self._pending.pop(seq)
         self._emitted.add(seq)
         if pending.header is None or pending.header.sequence != seq:

@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from .. import telemetry
 from ..channel.link import LinkConfig, ScreenCameraLink
 from ..channel.screen import FrameSchedule
 from ..core.decoder import FrameDecoder
@@ -118,17 +119,30 @@ class TransferSession:
         captures; undecoded frames carry into the next round.  Delivery
         fails (None) when frames remain after *max_rounds*.
         """
+        with telemetry.span("link.transmit", payload_bytes=len(payload)):
+            return self._transmit(payload, max_rounds)
+
+    def _transmit(self, payload: bytes, max_rounds: int) -> tuple[bytes | None, SessionStats]:
         frames = self.encoder.encode_stream(payload)
         stats = SessionStats(frames_total=len(frames), payload_bytes=len(payload))
         assembler = PayloadAssembler()
         outstanding = list(range(len(frames)))
+        registry = telemetry.registry()
+        telemetry.emit("session_start", frames=len(frames), payload_bytes=len(payload))
 
         for __ in range(max_rounds):
             if not outstanding:
                 break
             stats.rounds += 1
             stats.frames_sent += len(outstanding)
-            self._run_round([frames[i] for i in outstanding], assembler, stats)
+            if registry:
+                registry.counter("link.rounds").inc()
+                registry.counter("link.frames_sent").inc(len(outstanding))
+                if stats.rounds > 1:
+                    registry.counter("link.retransmissions").inc(len(outstanding))
+            telemetry.emit("round", round=stats.rounds, outstanding=len(outstanding))
+            with telemetry.span("link.round", round=stats.rounds):
+                self._run_round([frames[i] for i in outstanding], assembler, stats)
 
             # NACK every outstanding frame not yet received.  (Deriving
             # the list from ``assembler.missing()`` alone would go
@@ -144,6 +158,9 @@ class TransferSession:
                 continue  # feedback lost: sender repeats the same set
             outstanding = delivered_view
 
+        if registry:
+            registry.counter("link.frames_failed").inc(stats.frames_failed)
+        telemetry.emit("session_end", delivered=assembler.complete, rounds=stats.rounds)
         if assembler.complete:
             stats.delivered = True
             return assembler.payload()[: len(payload)], stats
@@ -173,9 +190,12 @@ class TransferSession:
                 stats.captures_dropped += 1
                 stage = diagnostics.failure.stage if diagnostics.failure else "capture"
                 stats.drop_reasons[stage] = stats.drop_reasons.get(stage, 0) + 1
+                telemetry.emit("capture_dropped", stage=stage)
                 continue
             results.extend(reassembler.add_capture(extraction))
         results.extend(reassembler.flush())
+        for result in results:
+            telemetry.emit("frame", sequence=result.sequence, ok=result.ok)
         stats.frames_failed += sum(1 for r in results if not r.ok)
         assembler.add_all(results)
         stats.display_time_s += schedule.duration

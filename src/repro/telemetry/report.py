@@ -1,0 +1,172 @@
+"""Render telemetry artifacts into per-stage tables and breakdowns.
+
+Consumes the artifacts a telemetry-enabled run leaves under its output
+directory — ``trace.json``, ``metrics.json`` and the
+``events-*.jsonl`` shards — and renders:
+
+* a per-stage latency table (total / count / mean milliseconds per span
+  name, aggregated over the whole trace tree);
+* a decode failure-stage breakdown (from the
+  ``decode.failures{stage=...}`` counter family);
+* event counts by type.
+
+``build_report`` returns a plain dict; ``format_report`` renders the
+human table; ``check_report`` is the CI assertion entry point behind
+``repro telemetry report --check`` (schema-validates every event line
+and demands a non-empty trace).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..core.decoder import DECODE_STAGES
+from .events import merge_shards, validate_events_file
+
+__all__ = ["build_report", "format_report", "check_report", "write_report"]
+
+
+def _load_json(path: Path) -> dict:
+    if not path.exists():
+        return {}
+    return json.loads(path.read_text())
+
+
+def _span_stats(spans, stats: dict) -> None:
+    for span in spans:
+        entry = stats.setdefault(span["name"], {"count": 0, "total_ms": 0.0, "errors": 0})
+        entry["count"] += 1
+        entry["total_ms"] += float(span.get("duration_ms", 0.0))
+        if span.get("status") == "error":
+            entry["errors"] += 1
+        _span_stats(span.get("children", ()), stats)
+
+
+def build_report(telemetry_dir: str | Path) -> dict:
+    """Aggregate the artifacts under *telemetry_dir* into one report."""
+    telemetry_dir = Path(telemetry_dir)
+    trace = _load_json(telemetry_dir / "trace.json")
+    metrics = _load_json(telemetry_dir / "metrics.json")
+    events = merge_shards(telemetry_dir)
+
+    stage_stats: dict[str, dict] = {}
+    _span_stats(trace.get("spans", ()), stage_stats)
+    for entry in stage_stats.values():
+        entry["total_ms"] = round(entry["total_ms"], 4)
+        entry["mean_ms"] = round(entry["total_ms"] / max(entry["count"], 1), 4)
+
+    counters = metrics.get("counters", {})
+    failure_stages = {stage: 0 for stage in DECODE_STAGES}
+    for key, value in counters.items():
+        if key.startswith("decode.failures{stage="):
+            failure_stages[key[len("decode.failures{stage="):-1]] = value
+    failure_stages = {k: v for k, v in failure_stages.items() if v}
+
+    event_counts: dict[str, int] = {}
+    for obj in events:
+        name = obj.get("event", "?")
+        event_counts[name] = event_counts.get(name, 0) + 1
+
+    return {
+        "telemetry_dir": str(telemetry_dir),
+        "stages": {name: stage_stats[name] for name in sorted(stage_stats)},
+        "failure_stages": failure_stages,
+        "counters": counters,
+        "histograms": metrics.get("histograms", {}),
+        "event_counts": dict(sorted(event_counts.items())),
+        "events_total": len(events),
+    }
+
+
+def format_report(report: dict) -> str:
+    """Human-readable rendering of :func:`build_report`'s output."""
+    lines = [f"telemetry report — {report['telemetry_dir']}", ""]
+
+    stages = report["stages"]
+    if stages:
+        header = f"{'span':<28} {'count':>7} {'total ms':>10} {'mean ms':>9} {'errors':>7}"
+        lines += ["per-stage latency", header, "-" * len(header)]
+        for name, s in stages.items():
+            lines.append(
+                f"{name:<28} {s['count']:>7} {s['total_ms']:>10.3f} "
+                f"{s['mean_ms']:>9.3f} {s['errors']:>7}"
+            )
+    else:
+        lines.append("per-stage latency: no trace recorded")
+
+    lines.append("")
+    failures = report["failure_stages"]
+    if failures:
+        lines.append("decode failures by stage")
+        for stage, count in failures.items():
+            lines.append(f"  {stage:<12} {count}")
+    else:
+        lines.append("decode failures by stage: none recorded")
+
+    lines.append("")
+    if report["event_counts"]:
+        lines.append(f"events ({report['events_total']} total)")
+        for name, count in report["event_counts"].items():
+            lines.append(f"  {name:<16} {count}")
+    else:
+        lines.append("events: none recorded")
+    return "\n".join(lines) + "\n"
+
+
+def check_report(telemetry_dir: str | Path) -> list[str]:
+    """CI assertion: schema-validate the artifacts; returns problems.
+
+    Demands that the directory holds at least one artifact, that every
+    event line passes :func:`~repro.telemetry.events.validate_event`,
+    and that any trace present has at least one span.
+    """
+    telemetry_dir = Path(telemetry_dir)
+    problems: list[str] = []
+    shards = sorted(telemetry_dir.glob("events-*.jsonl"))
+    trace_path = telemetry_dir / "trace.json"
+    if not shards and not trace_path.exists():
+        return [f"{telemetry_dir}: no telemetry artifacts (no events-*.jsonl, no trace.json)"]
+
+    for shard in shards:
+        problems.extend(validate_events_file(shard))
+        with open(shard, encoding="utf-8") as fh:
+            first = fh.readline().strip()
+        if first:
+            head = json.loads(first) if not problems else {}
+            if head and head.get("event") != "run":
+                problems.append(f"{shard}: first event is {head.get('event')!r}, not 'run'")
+
+    if trace_path.exists():
+        try:
+            trace = json.loads(trace_path.read_text())
+        except json.JSONDecodeError as exc:
+            problems.append(f"{trace_path}: not valid JSON ({exc.msg})")
+        else:
+            if not trace.get("spans"):
+                problems.append(f"{trace_path}: trace holds no spans")
+
+    metrics_path = telemetry_dir / "metrics.json"
+    if metrics_path.exists():
+        try:
+            metrics = json.loads(metrics_path.read_text())
+        except json.JSONDecodeError as exc:
+            problems.append(f"{metrics_path}: not valid JSON ({exc.msg})")
+        else:
+            for section in ("counters", "gauges", "histograms"):
+                if section not in metrics:
+                    problems.append(f"{metrics_path}: missing {section!r} section")
+    return problems
+
+
+def write_report(
+    report: dict, out_dir: str | Path, stem: str = "T1_telemetry_report"
+) -> tuple[Path, Path]:
+    """Write the text and JSON renderings under *out_dir*."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    txt = out / f"{stem}.txt"
+    js = out / f"{stem}.json"
+    txt.write_text(format_report(report))
+    js.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return txt, js

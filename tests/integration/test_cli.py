@@ -59,3 +59,46 @@ class TestSimulateDecode:
 
     def test_simulate_angled(self, capsys):
         assert main(["simulate", "--angle-deg", "20", "--seed", "1"]) == 0
+
+
+class TestTelemetryReport:
+    @pytest.fixture()
+    def _telemetry_env(self, tmp_path, monkeypatch):
+        from repro import telemetry
+
+        monkeypatch.setenv(telemetry.ENV_TOGGLE, "1")
+        monkeypatch.setenv(telemetry.ENV_DIR, str(tmp_path / "telemetry"))
+        telemetry.configure(None)
+        yield tmp_path / "telemetry"
+        telemetry.configure(None)
+
+    def test_simulate_then_report_and_check(self, _telemetry_env, tmp_path, capsys):
+        assert main(["simulate", "--seed", "3"]) == 0
+        tel_dir = _telemetry_env
+        assert (tel_dir / "trace.json").exists()
+        assert (tel_dir / "metrics.json").exists()
+        assert list(tel_dir.glob("events-*.jsonl"))
+
+        out_dir = tmp_path / "results"
+        assert main(["telemetry", "report", "--dir", str(tel_dir),
+                     "--out", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "per-stage latency" in out
+        assert "decode.extract" in out
+        assert (out_dir / "T1_telemetry_report.txt").exists()
+        assert (out_dir / "T1_telemetry_report.json").exists()
+
+        assert main(["telemetry", "report", "--dir", str(tel_dir), "--check"]) == 0
+
+    def test_report_without_artifacts_fails(self, tmp_path, capsys):
+        missing = tmp_path / "nowhere"
+        assert main(["telemetry", "report", "--dir", str(missing)]) == 2
+        assert "no telemetry directory" in capsys.readouterr().err
+
+    def test_check_flags_corrupt_shard(self, _telemetry_env, capsys):
+        tel_dir = _telemetry_env
+        tel_dir.mkdir(parents=True, exist_ok=True)
+        (tel_dir / "events-1.jsonl").write_text('{"event": "frame", "seq": 0}\n')
+        assert main(["telemetry", "report", "--dir", str(tel_dir), "--check"]) == 1
+        err = capsys.readouterr().err
+        assert "check:" in err

@@ -1,0 +1,102 @@
+"""Event sink: run header, shard files, merging, and schema validation."""
+
+import json
+
+from repro.telemetry.events import (
+    EventSink,
+    merge_shards,
+    run_metadata,
+    shard_path,
+    validate_event,
+    validate_events_file,
+)
+
+
+class TestSink:
+    def test_first_emit_prepends_run_event(self):
+        sink = EventSink(meta={"seed": 4})
+        sink.emit("session_start", frames=2, payload_bytes=10)
+        assert [e["event"] for e in sink.buffer] == ["run", "session_start"]
+        assert sink.buffer[0]["meta"] == {"seed": 4}
+        assert [e["seq"] for e in sink.buffer] == [0, 1]
+
+    def test_seq_monotonic_without_timestamps(self):
+        sink = EventSink(meta={})
+        for i in range(3):
+            obj = sink.emit("frame", sequence=i, ok=True)
+            assert "time" not in obj and "timestamp" not in obj
+        assert [e["seq"] for e in sink.buffer] == [0, 1, 2, 3]
+
+    def test_file_sink_streams_jsonl(self, tmp_path):
+        path = tmp_path / "events-1.jsonl"
+        with EventSink(path, meta={"scenario": "clean"}) as sink:
+            sink.emit("session_end", delivered=True, rounds=1)
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [e["event"] for e in lines] == ["run", "session_end"]
+        assert validate_events_file(path) == []
+
+    def test_lazy_open_writes_nothing_when_silent(self, tmp_path):
+        path = tmp_path / "events-2.jsonl"
+        EventSink(path).close()
+        assert not path.exists()
+
+
+class TestShards:
+    def test_shard_path_is_per_worker(self, tmp_path):
+        assert shard_path(tmp_path, worker=7) == tmp_path / "events-7.jsonl"
+        # Default shard id is the PID: two calls in one process agree.
+        assert shard_path(tmp_path) == shard_path(tmp_path)
+
+    def test_merge_orders_by_scenario_seed_shard_seq(self, tmp_path):
+        with EventSink(shard_path(tmp_path, worker=2), meta={"scenario": "b", "seed": 0}) as s:
+            s.emit("session_end", delivered=True, rounds=1)
+        with EventSink(shard_path(tmp_path, worker=1), meta={"scenario": "a", "seed": 0}) as s:
+            s.emit("session_start", frames=1, payload_bytes=4)
+        merged = merge_shards(tmp_path)
+        # Shard "a" (worker 1) sorts before shard "b" regardless of PID order.
+        assert [e["event"] for e in merged] == [
+            "run", "session_start", "run", "session_end",
+        ]
+        assert merged[0]["meta"]["scenario"] == "a"
+
+    def test_merge_writes_deterministic_jsonl(self, tmp_path):
+        with EventSink(shard_path(tmp_path, worker=3), meta={}) as s:
+            s.emit("round", round=1, outstanding=2)
+        out = tmp_path / "merged.jsonl"
+        merged = merge_shards(tmp_path, out_path=out)
+        again = [json.loads(l) for l in out.read_text().splitlines()]
+        assert again == merged
+
+
+class TestValidation:
+    def test_known_event_requires_schema_fields(self):
+        assert validate_event({"event": "frame", "seq": 1, "sequence": 0, "ok": True}) is None
+        problem = validate_event({"event": "frame", "seq": 1, "sequence": 0})
+        assert "ok" in problem
+
+    def test_unknown_event_type_allowed(self):
+        assert validate_event({"event": "custom", "seq": 0}) is None
+
+    def test_malformed_objects_rejected(self):
+        assert validate_event([]) is not None
+        assert validate_event({"seq": 0}) is not None
+        assert validate_event({"event": "frame"}) is not None
+        assert validate_event({"event": "frame", "seq": -1}) is not None
+
+    def test_validate_file_reports_line_numbers(self, tmp_path):
+        path = tmp_path / "events-9.jsonl"
+        path.write_text('{"event": "run", "seq": 0, "meta": {}}\nnot json\n')
+        errors = validate_events_file(path)
+        assert len(errors) == 1 and ":2:" in errors[0]
+
+
+class TestRunMetadata:
+    def test_carries_seed_scenario_version(self):
+        import repro
+
+        meta = run_metadata(seed=11, scenario="glare", extra_key="x")
+        assert meta["seed"] == 11
+        assert meta["scenario"] == "glare"
+        assert meta["version"] == repro.__version__
+        assert meta["extra_key"] == "x"
+        assert "git_rev" in meta

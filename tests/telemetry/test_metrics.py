@@ -1,0 +1,141 @@
+"""Metrics registry: bucket edges, label keys, and snapshot merging."""
+
+import json
+
+import pytest
+
+from repro.telemetry.metrics import (
+    NULL_REGISTRY,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+)
+
+
+class TestHistogramBuckets:
+    def test_inclusive_upper_edges(self):
+        hist = Histogram((1.0, 2.0, 5.0))
+        # A value exactly on a bound lands in that bound's bucket.
+        hist.observe(1.0)
+        hist.observe(2.0)
+        hist.observe(5.0)
+        assert hist.counts == [1, 1, 1, 0]
+
+    def test_overflow_bucket(self):
+        hist = Histogram((1.0, 2.0))
+        hist.observe(2.0001)
+        hist.observe(100.0)
+        assert hist.counts == [0, 0, 2]
+
+    def test_observe_many_matches_scalar_observes(self):
+        values = [0.5, 1.0, 1.5, 2.0, 3.0, 3.0]
+        batched, scalar = Histogram((1.0, 2.0)), Histogram((1.0, 2.0))
+        batched.observe_many(values)
+        for v in values:
+            scalar.observe(v)
+        assert batched.counts == scalar.counts
+        assert batched.count == scalar.count == len(values)
+        assert batched.sum == pytest.approx(scalar.sum)
+
+    def test_bounds_must_be_strictly_increasing(self):
+        with pytest.raises(ValueError):
+            Histogram((1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(())
+
+    def test_empty_observe_many_is_noop(self):
+        hist = Histogram((1.0,))
+        hist.observe_many([])
+        assert hist.count == 0 and hist.counts == [0, 0]
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_metric(self):
+        reg = MetricsRegistry()
+        reg.counter("decode.failures", stage="corners").inc()
+        reg.counter("decode.failures", stage="corners").inc(2)
+        assert reg.counter("decode.failures", stage="corners").value == 3
+
+    def test_labels_canonicalized_into_sorted_key(self):
+        reg = MetricsRegistry()
+        reg.counter("m", b=1, a=2).inc()
+        assert reg.snapshot()["counters"] == {"m{a=2,b=1}": 1}
+
+    def test_counter_family_extracts_label_strings(self):
+        reg = MetricsRegistry()
+        reg.counter("decode.failures", stage="corners").inc(3)
+        reg.counter("decode.failures", stage="header").inc()
+        reg.counter("decode.failures").inc(9)
+        reg.counter("decode.failures_other").inc()  # prefix must not match
+        assert reg.counter_family("decode.failures") == {
+            "stage=corners": 3,
+            "stage=header": 1,
+            "": 9,
+        }
+
+    def test_timing_metrics_excluded_from_deterministic_snapshot(self):
+        reg = MetricsRegistry()
+        reg.histogram("decode.latency_ms", (1.0, 10.0), timing=True).observe(3.0)
+        reg.counter("decode.captures_ok").inc()
+        full = reg.snapshot(include_timing=True)
+        deterministic = reg.snapshot(include_timing=False)
+        assert "decode.latency_ms" in full["histograms"]
+        assert deterministic["histograms"] == {}
+        assert deterministic["counters"] == {"decode.captures_ok": 1}
+
+    def test_snapshot_is_json_and_canonically_ordered(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.counter("a").inc()
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a", "b"]
+        json.dumps(snap)  # must be JSON-able
+
+
+class TestMerge:
+    @staticmethod
+    def _trial(counter_by, hist_values):
+        reg = MetricsRegistry()
+        reg.counter("decode.failures", stage="corners").inc(counter_by)
+        reg.gauge("last_seed").set(counter_by)
+        reg.histogram("d_t", (0.0, 1.0, 2.0, 3.0)).observe_many(hist_values)
+        return reg.snapshot(include_timing=False)
+
+    def test_merge_is_associative_across_groupings(self):
+        trials = [self._trial(i + 1, [float(i % 4)] * (i + 1)) for i in range(6)]
+        serial = merge_snapshots(trials)
+        # 2-worker grouping: merge each worker's fold, then fold in order.
+        two = merge_snapshots([merge_snapshots(trials[:3]), merge_snapshots(trials[3:])])
+        # 4-worker grouping with ragged shards.
+        four = merge_snapshots(
+            [merge_snapshots(trials[i : i + 2]) for i in range(0, 6, 2)]
+        )
+        assert serial == two == four
+        assert serial["counters"]["decode.failures{stage=corners}"] == 21
+        assert sum(serial["histograms"]["d_t"]["counts"]) == 21
+
+    def test_merge_keeps_later_gauge(self):
+        merged = merge_snapshots([self._trial(1, []), self._trial(7, [])])
+        assert merged["gauges"]["last_seed"] == 7.0
+
+    def test_merge_rejects_mismatched_histogram_bounds(self):
+        a = MetricsRegistry()
+        a.histogram("h", (1.0, 2.0)).observe(1.0)
+        b = MetricsRegistry()
+        b.histogram("h", (1.0, 3.0)).observe(1.0)
+        with pytest.raises(ValueError, match="mismatched bucket bounds"):
+            merge_snapshots([a.snapshot(), b.snapshot()])
+
+    def test_merge_of_empty_snapshot_is_identity(self):
+        trial = self._trial(2, [0.0])
+        assert merge_snapshots([{}, trial]) == merge_snapshots([trial])
+
+
+class TestNullRegistry:
+    def test_falsy_and_inert(self):
+        assert not NULL_REGISTRY
+        NULL_REGISTRY.counter("x", stage="y").inc(5)
+        NULL_REGISTRY.histogram("h", (1.0,)).observe_many([1, 2, 3])
+        NULL_REGISTRY.gauge("g").set(3.0)
+        assert NULL_REGISTRY.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+        assert NULL_REGISTRY.counter_family("x") == {}
