@@ -1,0 +1,70 @@
+"""Determinism & contract static analysis for the RainBar tree.
+
+The pipeline's headline invariants — bit-identical serial/parallel
+decode results, deterministic seeded fault scenarios, wall-clock-free
+telemetry merges — are properties of *how* the code is written, not
+just of what the tests observe.  This package enforces them at lint
+time with RainBar-specific AST rules:
+
+========  ==============================================================
+RB001     Global nondeterminism: no ``random.*``, legacy
+          ``np.random.<fn>`` module-level RNG, ``time.time()`` /
+          ``datetime.now()`` or raw ``np.random.SeedSequence``
+          construction inside ``core/``, ``channel/``, ``coding/``,
+          ``faults/`` or ``link/``.  Randomness must flow through an
+          injected :class:`numpy.random.Generator`, and seed derivation
+          through :func:`repro.faults.plan.derive_seed` (the rule's
+          single allowlisted construction site).
+RB002     Seed plumbing: a function that accepts an ``rng`` or ``seed``
+          parameter may not call ``default_rng()`` with no argument —
+          doing so silently discards the caller's determinism.
+RB003     uint8 overflow hazard: ``+`` / ``-`` / ``*`` arithmetic on an
+          array read from a uint8 image source without an explicit
+          dtype cast (``.astype(...)``) first.
+RB004     Telemetry hygiene: ``span()`` results must be used as context
+          managers (or returned verbatim by a forwarding wrapper), and
+          nothing under ``telemetry/`` may read the wall clock apart
+          from ``perf_counter``.
+RB005     Library hygiene: no mutable default arguments, no bare
+          ``except:``.
+========  ==============================================================
+
+Run it with ``python -m repro.analysis src/repro`` or ``repro
+analyze``; suppress a finding with a ``# repro: noqa RBxxx`` comment on
+the offending line.  See :mod:`repro.analysis.engine` for the exit-code
+contract and :mod:`repro.analysis.report` for the JSON schema.
+"""
+
+from __future__ import annotations
+
+from .engine import (
+    ALL_RULE_IDS,
+    AnalysisResult,
+    FileReport,
+    Violation,
+    analyze_file,
+    analyze_paths,
+    analyze_source,
+    iter_python_files,
+    parse_suppressions,
+)
+from .report import JSON_SCHEMA_VERSION, render_json, render_text
+from .rules import RULES, Rule, RuleContext
+
+__all__ = [
+    "ALL_RULE_IDS",
+    "AnalysisResult",
+    "FileReport",
+    "JSON_SCHEMA_VERSION",
+    "RULES",
+    "Rule",
+    "RuleContext",
+    "Violation",
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
+    "iter_python_files",
+    "parse_suppressions",
+    "render_json",
+    "render_text",
+]

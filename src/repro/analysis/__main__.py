@@ -1,0 +1,89 @@
+"""CLI: ``python -m repro.analysis [paths...]`` (also ``repro analyze``).
+
+Examples
+--------
+Lint the library and fail on any finding (what CI runs)::
+
+    python -m repro.analysis src/repro --format json
+
+Run a single rule over one file::
+
+    python -m repro.analysis src/repro/core/decoder.py --select RB003
+
+Exit codes: 0 clean, 1 violations found, 2 usage/parse error (see
+:mod:`repro.analysis.engine`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .engine import analyze_paths
+from .report import render_json, render_text
+from .rules import RULES
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro analyze",
+        description="RainBar determinism & contract linter (rules RB001-RB005)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (json is the CI artifact; schema is versioned)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RBxxx[,RBxxx...]",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule.id}  {rule.title}")
+        return 0
+
+    select = None
+    if args.select is not None:
+        select = [part.strip() for part in args.select.split(",") if part.strip()]
+
+    try:
+        result = analyze_paths(args.paths, select=select)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"repro.analysis: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    if result.errors:
+        for report in result.errors:
+            print(f"repro.analysis: error: {report.path}: {report.error}", file=sys.stderr)
+    return result.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,209 @@
+"""File discovery, suppression handling and rule execution.
+
+Exit-code contract (shared by ``python -m repro.analysis`` and ``repro
+analyze``):
+
+* ``0`` — every file parsed and no unsuppressed violation was found;
+* ``1`` — at least one violation (the JSON report is still written, so
+  CI can both fail and attach the machine-readable findings);
+* ``2`` — usage error: unknown rule id, missing path, or a file that
+  does not parse (a syntax error is a build problem, not a finding).
+
+Suppressions are per-line comments::
+
+    value = a + b  # repro: noqa RB003 — wraparound is the point
+    anything()     # repro: noqa
+
+A bare ``# repro: noqa`` silences every rule on that line; one or more
+comma/space-separated rule ids silence only those.  Suppressions that
+never matched a violation are *not* errors (the comment may predate a
+rule refinement), but the JSON report counts them so a cleanup pass can
+find stale ones.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass, field
+from io import StringIO
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from .rules import RULES, Rule, RuleContext, Violation
+
+__all__ = [
+    "ALL_RULE_IDS",
+    "AnalysisResult",
+    "FileReport",
+    "Violation",
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
+    "iter_python_files",
+    "parse_suppressions",
+]
+
+ALL_RULE_IDS: tuple[str, ...] = tuple(rule.id for rule in RULES)
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?P<ids>(?:[\s,]+RB\d{3})*)", re.IGNORECASE
+)
+
+#: Sentinel set meaning "every rule suppressed on this line".
+_ALL = frozenset({"*"})
+
+
+@dataclass
+class FileReport:
+    """Outcome of linting a single file."""
+
+    path: str
+    violations: list[Violation] = field(default_factory=list)
+    suppressed: int = 0
+    error: str = ""
+
+
+@dataclass
+class AnalysisResult:
+    """Aggregate over all files, plus the exit code for the CLI."""
+
+    reports: list[FileReport] = field(default_factory=list)
+
+    @property
+    def violations(self) -> list[Violation]:
+        return [v for report in self.reports for v in report.violations]
+
+    @property
+    def files_checked(self) -> int:
+        return len(self.reports)
+
+    @property
+    def suppressed_count(self) -> int:
+        return sum(report.suppressed for report in self.reports)
+
+    @property
+    def errors(self) -> list[FileReport]:
+        return [report for report in self.reports if report.error]
+
+    def by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.rule] = counts.get(violation.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    @property
+    def exit_code(self) -> int:
+        if self.errors:
+            return 2
+        return 1 if self.violations else 0
+
+
+def parse_suppressions(source: str) -> dict[int, frozenset[str]]:
+    """Map line number -> rule ids suppressed there (``{"*"}`` = all).
+
+    Comments are located with :mod:`tokenize` so a ``# repro: noqa``
+    inside a string literal does not suppress anything.
+    """
+    suppressions: dict[int, frozenset[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _NOQA_RE.search(token.string)
+            if not match:
+                continue
+            ids = frozenset(
+                part.upper()
+                for part in re.split(r"[\s,]+", match.group("ids") or "")
+                if part
+            )
+            suppressions[token.start[0]] = ids or _ALL
+    except tokenize.TokenizeError:  # pragma: no cover - parse error reported upstream
+        pass
+    return suppressions
+
+
+def _select_rules(select: Iterable[str] | None) -> Sequence[Rule]:
+    if select is None:
+        return RULES
+    wanted = {rule_id.upper() for rule_id in select}
+    unknown = wanted - set(ALL_RULE_IDS)
+    if unknown:
+        raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+    return tuple(rule for rule in RULES if rule.id in wanted)
+
+
+def analyze_source(
+    source: str,
+    relpath: str,
+    select: Iterable[str] | None = None,
+) -> FileReport:
+    """Lint one in-memory module; *relpath* drives package-scoped rules."""
+    report = FileReport(path=relpath)
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError as exc:
+        report.error = f"syntax error: {exc.msg} (line {exc.lineno})"
+        return report
+
+    ctx = RuleContext.for_path(relpath)
+    suppressions = parse_suppressions(source)
+    for rule in _select_rules(select):
+        for violation in rule.check(tree, ctx):
+            suppressed = suppressions.get(violation.line)
+            if suppressed is not None and (
+                suppressed is _ALL or "*" in suppressed or violation.rule in suppressed
+            ):
+                report.suppressed += 1
+            else:
+                report.violations.append(violation)
+    report.violations.sort(key=lambda v: (v.line, v.col, v.rule))
+    return report
+
+
+def analyze_file(
+    path: Path,
+    root: Path | None = None,
+    select: Iterable[str] | None = None,
+) -> FileReport:
+    relpath = str(path.relative_to(root)) if root is not None else str(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        report = FileReport(path=relpath)
+        report.error = f"unreadable: {exc}"
+        return report
+    return analyze_source(source, relpath, select=select)
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Expand files/directories to ``.py`` files, sorted for stable output."""
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(p for p in path.rglob("*.py") if p.is_file())
+        else:
+            yield path
+
+
+def analyze_paths(
+    paths: Iterable[str | Path],
+    select: Iterable[str] | None = None,
+) -> AnalysisResult:
+    """Lint every ``.py`` file under *paths* and aggregate the findings.
+
+    Raises :class:`FileNotFoundError` for a missing input path and
+    :class:`ValueError` for an unknown rule id in *select* — both map to
+    exit code 2 in the CLI.
+    """
+    _select_rules(select)  # validate ids before touching the filesystem
+    roots = [Path(p) for p in paths]
+    for root in roots:
+        if not root.exists():
+            raise FileNotFoundError(f"no such file or directory: {root}")
+    result = AnalysisResult()
+    for file_path in iter_python_files(roots):
+        result.reports.append(analyze_file(file_path, select=select))
+    return result

@@ -1,0 +1,571 @@
+"""The RB001–RB005 rule classes and their shared AST helpers.
+
+Every rule subclasses :class:`Rule` and implements :meth:`Rule.check`,
+receiving the parsed module and a :class:`RuleContext` describing where
+the file sits in the tree.  Rules report :class:`Violation` records;
+suppression and aggregation live in :mod:`repro.analysis.engine`.
+
+The rules are deliberately heuristic: they resolve names textually
+(``np.random.seed`` is matched as an attribute chain, not through type
+inference), which is exactly the right trade-off for a repo-specific
+linter — false positives are silenced with ``# repro: noqa RBxxx`` at
+the offending line, and the suppression itself is then visible in
+review.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "DETERMINISTIC_PACKAGES",
+    "RB001GlobalNondeterminism",
+    "RB002SeedPlumbing",
+    "RB003Uint8Overflow",
+    "RB004TelemetryHygiene",
+    "RB005LibraryHygiene",
+    "RULES",
+    "Rule",
+    "RuleContext",
+    "SEED_SEQUENCE_ALLOWLIST",
+    "Violation",
+]
+
+#: Packages whose code must be deterministic by construction (RB001).
+DETERMINISTIC_PACKAGES = frozenset({"core", "channel", "coding", "faults", "link"})
+
+#: The only places allowed to construct ``np.random.SeedSequence``
+#: directly: ``(path suffix, enclosing function name)`` pairs.  Keeping
+#: this list at exactly one entry is itself a contract — new seed
+#: derivation sites must route through the existing helper.
+SEED_SEQUENCE_ALLOWLIST: frozenset[tuple[str, str]] = frozenset(
+    {("faults/plan.py", "derive_seed")}
+)
+
+#: Legacy module-level RNG functions on ``np.random`` (global hidden
+#: state, unseedable per call site).
+_LEGACY_NP_RANDOM = frozenset(
+    {
+        "seed",
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "random_integers",
+        "ranf",
+        "sample",
+        "bytes",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "choice",
+        "shuffle",
+        "permutation",
+        "get_state",
+        "set_state",
+        "RandomState",
+    }
+)
+
+#: Wall-clock reads, as dotted-name suffixes rooted at a module alias.
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.localtime",
+        "time.ctime",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "date.today",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: a rule id plus where and why."""
+
+    rule: str
+    message: str
+    path: str
+    line: int
+    col: int
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+        }
+
+
+@dataclass(frozen=True)
+class RuleContext:
+    """Where the linted module sits in the tree.
+
+    *relpath* is the path as given to the engine (used in reports);
+    *package* is the first ``repro`` subpackage on that path (``core``,
+    ``telemetry``, ...) or ``""`` when the file sits outside any known
+    subpackage.
+    """
+
+    relpath: str
+    package: str
+
+    @classmethod
+    def for_path(cls, relpath: str) -> "RuleContext":
+        return cls(relpath=relpath, package=_package_of(relpath))
+
+
+_KNOWN_PACKAGES = DETERMINISTIC_PACKAGES | {
+    "telemetry",
+    "imaging",
+    "baselines",
+    "bench",
+    "analysis",
+}
+
+
+def _package_of(relpath: str) -> str:
+    parts = relpath.replace("\\", "/").split("/")
+    if "repro" in parts:
+        parts = parts[parts.index("repro") + 1 :]
+    for part in parts[:-1]:
+        if part in _KNOWN_PACKAGES:
+            return part
+    return ""
+
+
+def dotted_name(node: ast.AST) -> str:
+    """``np.random.default_rng`` for the matching Attribute chain, else ``""``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _iter_calls(tree: ast.AST) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+class Rule:
+    """Base class: one rule id, one :meth:`check` pass over a module."""
+
+    id = "RB000"
+    title = ""
+
+    def check(self, tree: ast.Module, ctx: RuleContext) -> list[Violation]:
+        raise NotImplementedError
+
+    def violation(self, ctx: RuleContext, node: ast.AST, message: str) -> Violation:
+        return Violation(
+            rule=self.id,
+            message=message,
+            path=ctx.relpath,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+        )
+
+
+def _enclosing_functions(tree: ast.Module) -> dict[int, str]:
+    """Map every node id to the name of its innermost enclosing function."""
+    owner: dict[int, str] = {}
+
+    def visit(node: ast.AST, current: str) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            current = node.name
+        owner[id(node)] = current
+        for child in ast.iter_child_nodes(node):
+            visit(child, current)
+
+    visit(tree, "")
+    return owner
+
+
+class RB001GlobalNondeterminism(Rule):
+    """No global RNG, wall clock, or raw SeedSequence in deterministic packages."""
+
+    id = "RB001"
+    title = "global nondeterminism in a deterministic package"
+
+    def check(self, tree: ast.Module, ctx: RuleContext) -> list[Violation]:
+        if ctx.package not in DETERMINISTIC_PACKAGES:
+            return []
+        out: list[Violation] = []
+        owner = _enclosing_functions(tree)
+
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        out.append(
+                            self.violation(
+                                ctx,
+                                node,
+                                "stdlib `random` imported; inject an "
+                                "np.random.Generator instead",
+                            )
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and node.level == 0:
+                    out.append(
+                        self.violation(
+                            ctx,
+                            node,
+                            "stdlib `random` imported; inject an "
+                            "np.random.Generator instead",
+                        )
+                    )
+
+        for call in _iter_calls(tree):
+            name = dotted_name(call.func)
+            if not name:
+                continue
+            root = name.split(".")[0]
+            if root == "random":
+                out.append(
+                    self.violation(
+                        ctx,
+                        call,
+                        f"`{name}()` uses the stdlib global RNG; inject an "
+                        "np.random.Generator instead",
+                    )
+                )
+            elif name.startswith(("np.random.", "numpy.random.")):
+                leaf = name.rsplit(".", 1)[1]
+                if leaf in _LEGACY_NP_RANDOM:
+                    out.append(
+                        self.violation(
+                            ctx,
+                            call,
+                            f"`{name}()` is module-level global RNG; inject an "
+                            "np.random.Generator instead",
+                        )
+                    )
+                elif leaf == "SeedSequence" and not self._allowlisted(ctx, owner, call):
+                    out.append(
+                        self.violation(
+                            ctx,
+                            call,
+                            "raw SeedSequence construction; derive seeds through "
+                            "repro.faults.plan.derive_seed",
+                        )
+                    )
+            elif any(name == w or name.endswith("." + w) for w in _WALL_CLOCK):
+                out.append(
+                    self.violation(
+                        ctx,
+                        call,
+                        f"`{name}()` reads the wall clock inside a deterministic "
+                        "package",
+                    )
+                )
+        return out
+
+    @staticmethod
+    def _allowlisted(ctx: RuleContext, owner: dict[int, str], call: ast.Call) -> bool:
+        relpath = ctx.relpath.replace("\\", "/")
+        function = owner.get(id(call), "")
+        return any(
+            relpath.endswith(suffix) and function == name
+            for suffix, name in SEED_SEQUENCE_ALLOWLIST
+        )
+
+
+class RB002SeedPlumbing(Rule):
+    """Functions accepting rng/seed must not call argless default_rng()."""
+
+    id = "RB002"
+    title = "seed parameter discarded by default_rng()"
+
+    _SEED_PARAMS = frozenset({"rng", "seed"})
+
+    def check(self, tree: ast.Module, ctx: RuleContext) -> list[Violation]:
+        out: list[Violation] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            params = {
+                a.arg
+                for a in (
+                    node.args.posonlyargs + node.args.args + node.args.kwonlyargs
+                )
+            }
+            if not (params & self._SEED_PARAMS):
+                continue
+            for call in _iter_calls(node):
+                name = dotted_name(call.func)
+                if (
+                    name.endswith("default_rng")
+                    and not call.args
+                    and not call.keywords
+                ):
+                    out.append(
+                        self.violation(
+                            ctx,
+                            call,
+                            f"`{node.name}()` accepts "
+                            f"{'/'.join(sorted(params & self._SEED_PARAMS))} but "
+                            "calls default_rng() with no argument, discarding the "
+                            "caller's determinism",
+                        )
+                    )
+        return out
+
+
+#: Calls that produce uint8 arrays when given ``dtype=np.uint8``.
+_UINT8_DTYPES = frozenset({"np.uint8", "numpy.uint8", "uint8"})
+
+
+def _is_uint8_dtype(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant):
+        return node.value == "uint8"
+    return dotted_name(node) in _UINT8_DTYPES
+
+
+def _is_uint8_source(node: ast.AST) -> bool:
+    """Does *node* evaluate to a uint8 array, as far as the AST shows?"""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr == "astype":
+        return (bool(node.args) and _is_uint8_dtype(node.args[0])) or any(
+            k.arg == "dtype" and _is_uint8_dtype(k.value) for k in node.keywords
+        )
+    if dotted_name(func).endswith("to_uint8"):
+        return True
+    return any(k.arg == "dtype" and _is_uint8_dtype(k.value) for k in node.keywords)
+
+
+class RB003Uint8Overflow(Rule):
+    """+/-/* on arrays read from uint8 sources without a widening cast.
+
+    Function-scoped taint tracking: a name assigned from a uint8-dtyped
+    expression (``x = img.astype(np.uint8)``, ``x = np.zeros(...,
+    dtype=np.uint8)``, ``x = to_uint8(img)``) is tainted until
+    reassigned from something else.  Arithmetic whose operand is a
+    tainted name — or a uint8 source expression directly — wraps
+    silently at 255 and is flagged; cast first (``x.astype(np.int32)``)
+    or suppress with ``# repro: noqa RB003`` where wraparound is
+    intended.
+    """
+
+    id = "RB003"
+    title = "uint8 overflow hazard"
+
+    _OPS = (ast.Add, ast.Sub, ast.Mult)
+
+    def check(self, tree: ast.Module, ctx: RuleContext) -> list[Violation]:
+        out: list[Violation] = []
+        self._check_scope(tree, ctx, out)
+        return out
+
+    def _check_scope(
+        self, scope: ast.AST, ctx: RuleContext, out: list[Violation]
+    ) -> None:
+        tainted: set[str] = set()
+        body = scope.body if hasattr(scope, "body") else []
+        for stmt in body:
+            self._visit_stmt(stmt, ctx, tainted, out)
+
+    def _visit_stmt(
+        self,
+        stmt: ast.stmt,
+        ctx: RuleContext,
+        tainted: set[str],
+        out: list[Violation],
+    ) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            # Fresh taint scope per function/class body.
+            self._check_scope(stmt, ctx, out)
+            return
+
+        # Flag arithmetic in the expressions this statement owns directly
+        # (nested statements are visited on their own below, so each
+        # expression is scanned exactly once).
+        for node in self._own_expr_nodes(stmt):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, self._OPS):
+                for side in (node.left, node.right):
+                    if self._is_tainted(side, tainted):
+                        out.append(self._flag(ctx, node, side))
+                        break
+        if isinstance(stmt, ast.AugAssign) and isinstance(stmt.op, self._OPS):
+            for side in (stmt.target, stmt.value):
+                if self._is_tainted(side, tainted):
+                    out.append(self._flag(ctx, stmt, side))
+                    break
+
+        if isinstance(stmt, ast.Assign):
+            is_src = _is_uint8_source(stmt.value) or (
+                isinstance(stmt.value, ast.Name) and stmt.value.id in tainted
+            )
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    (tainted.add if is_src else tainted.discard)(target.id)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            if isinstance(stmt.target, ast.Name):
+                if _is_uint8_source(stmt.value):
+                    tainted.add(stmt.target.id)
+                else:
+                    tainted.discard(stmt.target.id)
+
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                self._visit_stmt(child, ctx, tainted, out)
+            elif isinstance(child, ast.ExceptHandler):
+                for grandchild in child.body:
+                    self._visit_stmt(grandchild, ctx, tainted, out)
+
+    @staticmethod
+    def _own_expr_nodes(stmt: ast.stmt) -> Iterator[ast.AST]:
+        """Expression nodes belonging to *stmt* itself, stopping at nested stmts."""
+        stack = [
+            child
+            for child in ast.iter_child_nodes(stmt)
+            if not isinstance(child, (ast.stmt, ast.ExceptHandler))
+        ]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(
+                child
+                for child in ast.iter_child_nodes(node)
+                if not isinstance(child, (ast.stmt, ast.ExceptHandler))
+            )
+
+    @staticmethod
+    def _is_tainted(node: ast.AST, tainted: set[str]) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in tainted
+        return _is_uint8_source(node)
+
+    def _flag(self, ctx: RuleContext, node: ast.AST, operand: ast.AST) -> Violation:
+        label = (
+            operand.id
+            if isinstance(operand, ast.Name)
+            else ast.unparse(operand)  # pragma: no cover - source expr operand
+        )
+        return self.violation(
+            ctx,
+            node,
+            f"arithmetic on uint8 array `{label}` wraps at 255; cast with "
+            ".astype(...) first (or `# repro: noqa RB003` if wraparound is "
+            "intended)",
+        )
+
+
+class RB004TelemetryHygiene(Rule):
+    """Spans only via `with`; no wall clock under telemetry/."""
+
+    id = "RB004"
+    title = "telemetry hygiene"
+
+    def check(self, tree: ast.Module, ctx: RuleContext) -> list[Violation]:
+        out: list[Violation] = []
+        allowed: set[int] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.With):
+                for item in node.items:
+                    allowed.add(id(item.context_expr))
+            elif isinstance(node, ast.Return) and node.value is not None:
+                # A wrapper that *returns* the context manager verbatim
+                # keeps the with-contract at its call sites.
+                allowed.add(id(node.value))
+
+        for call in _iter_calls(tree):
+            func = call.func
+            is_span = (isinstance(func, ast.Attribute) and func.attr == "span") or (
+                isinstance(func, ast.Name) and func.id == "span"
+            )
+            if is_span and id(call) not in allowed:
+                out.append(
+                    self.violation(
+                        ctx,
+                        call,
+                        "span() must be used as a context manager "
+                        "(`with ...span(name):`) or returned verbatim by a "
+                        "forwarding wrapper",
+                    )
+                )
+
+        if ctx.package == "telemetry":
+            for call in _iter_calls(tree):
+                name = dotted_name(call.func)
+                if name and any(
+                    name == w or name.endswith("." + w) for w in _WALL_CLOCK
+                ):
+                    out.append(
+                        self.violation(
+                            ctx,
+                            call,
+                            f"`{name}()` reads the wall clock under telemetry/; "
+                            "use perf_counter offsets so merges stay "
+                            "deterministic",
+                        )
+                    )
+        return out
+
+
+class RB005LibraryHygiene(Rule):
+    """No mutable default arguments, no bare except."""
+
+    id = "RB005"
+    title = "mutable default / bare except"
+
+    _MUTABLE_CALLS = frozenset({"list", "dict", "set"})
+
+    def check(self, tree: ast.Module, ctx: RuleContext) -> list[Violation]:
+        out: list[Violation] = []
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                defaults: Iterable[ast.expr | None] = list(node.args.defaults) + list(
+                    node.args.kw_defaults
+                )
+                for default in defaults:
+                    if default is None:
+                        continue
+                    if isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                        isinstance(default, ast.Call)
+                        and isinstance(default.func, ast.Name)
+                        and default.func.id in self._MUTABLE_CALLS
+                    ):
+                        out.append(
+                            self.violation(
+                                ctx,
+                                default,
+                                f"mutable default argument in `{node.name}()`; "
+                                "use None and construct inside the body",
+                            )
+                        )
+            elif isinstance(node, ast.ExceptHandler) and node.type is None:
+                out.append(
+                    self.violation(
+                        ctx,
+                        node,
+                        "bare `except:` also swallows KeyboardInterrupt/SystemExit; "
+                        "catch Exception or narrower",
+                    )
+                )
+        return out
+
+
+#: Registry, in id order; the engine runs them all unless ``--select``ed.
+RULES: Sequence[Rule] = (
+    RB001GlobalNondeterminism(),
+    RB002SeedPlumbing(),
+    RB003Uint8Overflow(),
+    RB004TelemetryHygiene(),
+    RB005LibraryHygiene(),
+)

@@ -188,7 +188,9 @@ class CobraEncoder:
     def __init__(self, config: CobraConfig):
         self.config = config
 
-    def encode_frame(self, payload: bytes, sequence: int, is_last: bool = False):
+    def encode_frame(
+        self, payload: bytes, sequence: int, is_last: bool = False
+    ) -> "CobraFrame":
         cfg = self.config
         if len(payload) > cfg.payload_bytes_per_frame:
             raise ValueError("payload exceeds per-frame capacity")
@@ -232,7 +234,9 @@ class CobraEncoder:
         return grid
 
     @staticmethod
-    def _fill_cells(grid, cells, symbols, pad_to):
+    def _fill_cells(
+        grid: np.ndarray, cells: np.ndarray, symbols: np.ndarray, pad_to: int
+    ) -> None:
         padded = np.zeros(pad_to, dtype=np.int64)
         padded[: len(symbols)] = symbols
         if pad_to > len(symbols):
@@ -308,7 +312,9 @@ class CobraDecoder:
 
     # -- corner detection -------------------------------------------------
 
-    def _detect_corners(self, image, classifier) -> dict[str, CornerTracker]:
+    def _detect_corners(
+        self, image: np.ndarray, classifier: ColorClassifier
+    ) -> dict[str, CornerTracker]:
         black = classifier.classify_pixels(image) == int(Color.BLACK)
         labels, count = connected_components(black)
         min_area = max(1, int((0.5 * self.min_block_px) ** 2))
@@ -356,7 +362,12 @@ class CobraDecoder:
 
     # -- TRB anchors --------------------------------------------------------
 
-    def _walk_borders(self, image, classifier, corners) -> dict[str, np.ndarray]:
+    def _walk_borders(
+        self,
+        image: np.ndarray,
+        classifier: ColorClassifier,
+        corners: dict[str, CornerTracker],
+    ) -> dict[str, np.ndarray]:
         """Positions of all black TRBs on each border.
 
         Each border is walked progressively from its two adjacent
@@ -429,7 +440,13 @@ class CobraDecoder:
 
     # -- header + assembly ---------------------------------------------------
 
-    def _read_header(self, image, classifier, corners, anchors) -> FrameHeader:
+    def _read_header(
+        self,
+        image: np.ndarray,
+        classifier: ColorClassifier,
+        corners: dict[str, CornerTracker],
+        anchors: dict[str, np.ndarray],
+    ) -> FrameHeader:
         layout = self.config.layout
         centers = self._cell_centers(layout.header_cells, anchors)
         colors = classifier.classify_centers(image, centers)
@@ -490,7 +507,7 @@ class CobraReceiver:
         self._headers_seen.add(extraction_seq)
         self._selector.offer(extraction_seq, image)
 
-    def _peek_sequence(self, image) -> int:
+    def _peek_sequence(self, image: np.ndarray) -> int:
         est = estimate_black_threshold(image)
         classifier = ColorClassifier(t_value=est.t_value, t_sat=self.decoder.t_sat)
         corners = self.decoder._detect_corners(image, classifier)

@@ -22,18 +22,22 @@ defining properties are preserved:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from ..coding.crc import crc16
 from ..coding.interleave import Interleaver
 from ..coding.reed_solomon import BlockCode, RSDecodeError
-from ..core.decoder import FrameDecoder, FrameResult
+from ..core.decoder import CaptureExtraction, FrameDecoder, FrameResult
 from ..core.encoder import FrameCodecConfig, FrameEncoder
 from ..core.header import FrameHeader
 from ..core.layout import FrameLayout
 from ..core.palette import Color, symbols_to_bytes
 from ..core.sync import StreamReassembler
+
+if TYPE_CHECKING:
+    from ..core.encoder import Frame
 
 __all__ = ["LightSyncConfig", "LightSyncEncoder", "LightSyncReceiver"]
 
@@ -119,7 +123,9 @@ class LightSyncEncoder:
         self.config = config
         self._inner = FrameEncoder(config.rainbar_equivalent())
 
-    def encode_frame(self, payload: bytes, sequence: int, is_last: bool = False):
+    def encode_frame(
+        self, payload: bytes, sequence: int, is_last: bool = False
+    ) -> "Frame":
         cfg = self.config
         if len(payload) > cfg.payload_bytes_per_frame:
             raise ValueError("payload exceeds per-frame capacity")
@@ -175,7 +181,7 @@ class LightSyncReceiver:
     :class:`StreamReassembler` mechanics on the bit stream.
     """
 
-    def __init__(self, config: LightSyncConfig, **decoder_kwargs):
+    def __init__(self, config: LightSyncConfig, **decoder_kwargs: Any):
         self.config = config
         self._decoder = FrameDecoder(config.rainbar_equivalent(), **decoder_kwargs)
         self._reassembler = StreamReassembler(
@@ -186,11 +192,11 @@ class LightSyncReceiver:
     def decoder(self) -> FrameDecoder:
         return self._decoder
 
-    def extract(self, image: np.ndarray):
+    def extract(self, image: np.ndarray) -> CaptureExtraction:
         """Geometry + classification (raises DecodeError on failure)."""
         return self._decoder.extract(image)
 
-    def add_capture(self, extraction) -> list[FrameResult]:
+    def add_capture(self, extraction: CaptureExtraction) -> list[FrameResult]:
         """Feed one extraction; returns finalized binary frames."""
         return self._reassembler.add_capture(extraction)
 

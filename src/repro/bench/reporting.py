@@ -29,7 +29,7 @@ def format_table(headers: list[str], rows: list[list], title: str = "") -> str:
     return "\n".join(lines)
 
 
-def _fmt(cell) -> str:
+def _fmt(cell: object) -> str:
     if isinstance(cell, float):
         return f"{cell:.3f}"
     return str(cell)
@@ -54,7 +54,7 @@ def print_experiment_header(exp_id: str, artifact: str, expectation: str) -> Non
     print(f"expected shape: {expectation}")
 
 
-def trial_row(label, trial: TrialResult) -> list:
+def trial_row(label: str, trial: TrialResult) -> list:
     """Standard metrics row for one trial."""
     return [
         label,

@@ -19,6 +19,7 @@ Metrics (Section IV):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -29,6 +30,9 @@ from ..core.decoder import DecodeError, FrameDecoder, FrameResult
 from ..core.encoder import FrameCodecConfig, FrameEncoder
 from ..core.sync import StreamReassembler
 from .workloads import random_payload
+
+if TYPE_CHECKING:
+    from ..baselines.lightsync import LightSyncConfig
 
 __all__ = [
     "TrialResult",
@@ -211,7 +215,7 @@ def run_cobra_trial(
 
 
 def run_lightsync_trial(
-    codec,
+    codec: "LightSyncConfig",
     link_config: LinkConfig,
     num_frames: int = 8,
     brightness: float = 1.0,

@@ -53,7 +53,7 @@ class LinkConfig:
     mobility: MobilityModel = field(default_factory=tripod)
     pipeline: CameraPipeline = field(default_factory=CameraPipeline)
 
-    def with_(self, **kwargs) -> "LinkConfig":
+    def with_(self, **kwargs: object) -> "LinkConfig":
         """Copy with selected fields replaced (sweep helper)."""
         return replace(self, **kwargs)
 

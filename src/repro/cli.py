@@ -22,6 +22,10 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from .core.encoder import FrameCodecConfig
 
 import numpy as np
 
@@ -111,10 +115,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate the artifacts (schema, run header, trace coverage); "
              "exit non-zero on problems",
     )
+
+    ana = sub.add_parser(
+        "analyze",
+        help="run the determinism & contract linter (rules RB001-RB005)",
+        description=(
+            "Static analysis over the repro tree: global-nondeterminism, "
+            "seed plumbing, uint8 overflow hazards, telemetry hygiene and "
+            "library hygiene.  Exit 0 clean, 1 violations, 2 usage error.  "
+            "All arguments are forwarded to `python -m repro.analysis`."
+        ),
+    )
+    ana.add_argument(
+        "analyze_args",
+        nargs=argparse.REMAINDER,
+        help="arguments for repro.analysis (paths, --format, --select, --list-rules)",
+    )
     return parser
 
 
-def _config(display_rate: int, block_px: int):
+def _config(display_rate: int, block_px: int) -> "FrameCodecConfig":
     from .core.encoder import FrameCodecConfig
     from .core.layout import FrameLayout
 
@@ -127,7 +147,7 @@ def _config(display_rate: int, block_px: int):
     return FrameCodecConfig(layout=layout, display_rate=display_rate)
 
 
-def _cmd_encode(args) -> int:
+def _cmd_encode(args: argparse.Namespace) -> int:
     from .core.encoder import FrameEncoder
     from .io import save_frame_stream, write_png
 
@@ -146,7 +166,7 @@ def _cmd_encode(args) -> int:
     return 0
 
 
-def _cmd_decode(args) -> int:
+def _cmd_decode(args: argparse.Namespace) -> int:
     from . import telemetry
     from .core.decoder import DecodeError, FrameDecoder
     from .core.sync import StreamReassembler
@@ -191,7 +211,7 @@ def _cmd_decode(args) -> int:
     return 0
 
 
-def _cmd_simulate(args) -> int:
+def _cmd_simulate(args: argparse.Namespace) -> int:
     from . import telemetry
     from .channel.link import LinkConfig, ScreenCameraLink
     from .channel.screen import FrameSchedule
@@ -237,7 +257,7 @@ def _cmd_simulate(args) -> int:
     return 0 if ok else 1
 
 
-def _cmd_capacity(__) -> int:
+def _cmd_capacity(__: argparse.Namespace) -> int:
     from .core.capacity import (
         cobra_code_blocks,
         galaxy_s4_grid,
@@ -253,7 +273,7 @@ def _cmd_capacity(__) -> int:
     return 0
 
 
-def _cmd_info(args) -> int:
+def _cmd_info(args: argparse.Namespace) -> int:
     from .io import load_frame_stream
 
     frames = load_frame_stream(args.stream)
@@ -267,7 +287,7 @@ def _cmd_info(args) -> int:
     return 0
 
 
-def _cmd_faults_campaign(args) -> int:
+def _cmd_faults_campaign(args: argparse.Namespace) -> int:
     from .bench.faults_campaign import (
         format_table,
         run_campaign,
@@ -301,7 +321,7 @@ def _cmd_faults_campaign(args) -> int:
     return 0
 
 
-def _cmd_telemetry(args) -> int:
+def _cmd_telemetry(args: argparse.Namespace) -> int:
     from . import telemetry
     from .telemetry.report import build_report, check_report, format_report, write_report
 
@@ -328,6 +348,12 @@ def _cmd_telemetry(args) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .analysis.__main__ import main as analyze_main
+
+    return analyze_main(args.analyze_args)
+
+
 _COMMANDS = {
     "encode": _cmd_encode,
     "decode": _cmd_decode,
@@ -336,6 +362,7 @@ _COMMANDS = {
     "info": _cmd_info,
     "faults-campaign": _cmd_faults_campaign,
     "telemetry": _cmd_telemetry,
+    "analyze": _cmd_analyze,
 }
 
 
@@ -343,6 +370,15 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     from . import telemetry
 
+    if argv is None:
+        argv = sys.argv[1:]
+    # argparse's REMAINDER does not capture option-looking tokens that
+    # precede the first positional (`repro analyze --list-rules`), so
+    # the analyze subcommand forwards its argv without parsing it.
+    if argv and argv[0] == "analyze":
+        from .analysis.__main__ import main as analyze_main
+
+        return analyze_main(argv[1:])
     args = build_parser().parse_args(argv)
     code = _COMMANDS[args.command](args)
     # Environment-enabled runs leave their trace/metrics behind for the

@@ -62,12 +62,12 @@ class GF256:
     order = _FIELD_SIZE
 
 
-def gf_add(a, b):
+def gf_add(a: int | np.ndarray, b: int | np.ndarray) -> np.ndarray:
     """Addition (= subtraction) in GF(256): bytewise XOR."""
     return np.bitwise_xor(np.asarray(a, dtype=np.int64), np.asarray(b, dtype=np.int64))
 
 
-def gf_mul(a, b):
+def gf_mul(a: int | np.ndarray, b: int | np.ndarray) -> int | np.ndarray:
     """Multiplication in GF(256), vectorized over arrays."""
     a = np.asarray(a, dtype=np.int64)
     b = np.asarray(b, dtype=np.int64)
@@ -78,7 +78,7 @@ def gf_mul(a, b):
     return out
 
 
-def gf_div(a, b):
+def gf_div(a: int | np.ndarray, b: int | np.ndarray) -> int | np.ndarray:
     """Division in GF(256); raises ZeroDivisionError on b == 0."""
     a = np.asarray(a, dtype=np.int64)
     b = np.asarray(b, dtype=np.int64)

@@ -33,7 +33,13 @@ _MARKER = {
 }
 
 
-def _paint(image: np.ndarray, x: float, y: float, color, radius: int = 1) -> None:
+def _paint(
+    image: np.ndarray,
+    x: float,
+    y: float,
+    color: tuple[float, float, float],
+    radius: int = 1,
+) -> None:
     height, width = image.shape[:2]
     xi, yi = int(round(x)), int(round(y))
     y0, y1 = max(yi - radius, 0), min(yi + radius + 1, height)

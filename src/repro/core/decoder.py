@@ -21,6 +21,7 @@ several) extractions into frame payloads is step 7,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Callable, ContextManager, Iterable
 
 import numpy as np
 
@@ -32,11 +33,16 @@ from ..telemetry.trace import Span, Tracer
 from .blocks import BlockLocalizer
 from .blur import sharpness_score
 from .brightness import DEFAULT_T_SAT, estimate_black_threshold
-from .corners import CornerDetectionError, detect_corner_trackers
+from .corners import CornerDetection, CornerDetectionError, detect_corner_trackers
 from .encoder import FrameCodecConfig
 from .header import HEADER_BYTES, FrameHeader, HeaderError
 from .layout import FrameLayout
-from .locators import LocatorError, find_first_middle_locator, walk_locator_column
+from .locators import (
+    LocatorColumn,
+    LocatorError,
+    find_first_middle_locator,
+    walk_locator_column,
+)
 from .palette import Color, symbols_to_bytes, tracking_bar_difference
 from .recognition import ColorClassifier
 
@@ -239,7 +245,7 @@ class FrameDecoder:
         registry = telemetry.registry()
         current = "input"
 
-        def stage(name: str):
+        def stage(name: str) -> ContextManager[Span]:
             nonlocal current
             current = name
             return tracer.span(name)
@@ -263,7 +269,12 @@ class FrameDecoder:
         ).observe(root.duration_ms)
         return extraction
 
-    def _extract_stages(self, image: np.ndarray, stage, root: Span) -> CaptureExtraction:
+    def _extract_stages(
+        self,
+        image: np.ndarray,
+        stage: Callable[[str], ContextManager[Span]],
+        root: Span,
+    ) -> CaptureExtraction:
         with stage("input"):
             image = np.asarray(image, dtype=np.float64)
             if image.ndim != 3 or image.shape[-1] != 3 or image.size == 0:
@@ -430,7 +441,12 @@ class FrameDecoder:
 
     # -- internals ---------------------------------------------------------
 
-    def _localize(self, image, classifier, corners) -> BlockLocalizer:
+    def _localize(
+        self,
+        image: np.ndarray,
+        classifier: ColorClassifier,
+        corners: CornerDetection,
+    ) -> BlockLocalizer:
         layout = self.config.layout
         count = len(list(layout.locator_rows))
         step = corners.row_step() * 2.0
@@ -479,7 +495,9 @@ class FrameDecoder:
             projective=self.projective_interpolation,
         )
 
-    def _middle_seed(self, corners, left, right) -> np.ndarray:
+    def _middle_seed(
+        self, corners: CornerDetection, left: LocatorColumn, right: LocatorColumn
+    ) -> np.ndarray:
         """Expected position of the first middle locator.
 
         Estimates the grid->image homography from the four outer anchors
@@ -526,13 +544,24 @@ class FrameDecoder:
             raise DecodeError("header implausible: display rate 0", stage="header")
         return header
 
-    def _read_header(self, image, classifier, localizer) -> FrameHeader:
+    def _read_header(
+        self,
+        image: np.ndarray,
+        classifier: ColorClassifier,
+        localizer: BlockLocalizer,
+    ) -> FrameHeader:
         layout = self.config.layout
         centers = localizer.cell_centers(layout.header_cells)
         colors = classifier.classify_centers(image, centers)
         return self._parse_header(_COLOR_TO_SYMBOL[colors])
 
-    def _read_tracking_bars(self, image, classifier, localizer, header) -> np.ndarray:
+    def _read_tracking_bars(
+        self,
+        image: np.ndarray,
+        classifier: ColorClassifier,
+        localizer: BlockLocalizer,
+        header: FrameHeader,
+    ) -> np.ndarray:
         """Per-row frame assignment from the left/right tracking bars."""
         layout = self.config.layout
         if not self.use_tracking_bars:
@@ -550,7 +579,7 @@ class FrameDecoder:
     # -- batch decoding ----------------------------------------------------
 
     def decode_stream(
-        self, captures, workers: int | None = None
+        self, captures: Iterable[Any], workers: int | None = None
     ) -> list[FrameResult | None]:
         """Decode a batch of captures, optionally fanning across processes.
 

@@ -149,7 +149,14 @@ def walk_locator_column(
 
 
 def _walk_locator_column(
-    image, classifier, start, initial_step, count, block_size, column, start_row
+    image: np.ndarray,
+    classifier: ColorClassifier,
+    start: np.ndarray,
+    initial_step: np.ndarray,
+    count: int,
+    block_size: float,
+    column: int,
+    start_row: int,
 ) -> LocatorColumn:
     positions = np.zeros((count, 2))
     refined = np.zeros(count, dtype=bool)
@@ -203,7 +210,12 @@ def find_first_middle_locator(
 
 
 def _find_first_middle_locator(
-    image, classifier, midpoint, block_size, min_block_px, max_block_px
+    image: np.ndarray,
+    classifier: ColorClassifier,
+    midpoint: np.ndarray,
+    block_size: float,
+    min_block_px: float,
+    max_block_px: float,
 ) -> np.ndarray:
     image = np.asarray(image, dtype=np.float64)
     height, width = image.shape[:2]

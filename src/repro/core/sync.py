@@ -23,6 +23,7 @@ complete logical frames:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -62,7 +63,12 @@ class StreamReassembler:
     blocks) reuse the synchronization machinery unchanged.
     """
 
-    def __init__(self, config: FrameCodecConfig, max_pending: int = 8, assemble=None):
+    def __init__(
+        self,
+        config: FrameCodecConfig,
+        max_pending: int = 8,
+        assemble: Callable[[FrameHeader, np.ndarray], FrameResult] | None = None,
+    ):
         self.config = config
         self.max_pending = max_pending
         self._assemble = assemble or (

@@ -25,7 +25,7 @@ from .impairments import (
     ShutterJitter,
     SpecularGlare,
 )
-from .plan import FAULT_REGISTRY, IMAGE_STAGES, STAGES, FaultPlan
+from .plan import FAULT_REGISTRY, IMAGE_STAGES, STAGES, FaultPlan, derive_seed
 from .scenarios import SCENARIO_SPECS, fault_matrix, scenario_names, scenario_plan
 
 __all__ = [
@@ -42,6 +42,7 @@ __all__ = [
     "FAULT_REGISTRY",
     "IMAGE_STAGES",
     "STAGES",
+    "derive_seed",
     "SCENARIO_SPECS",
     "scenario_names",
     "scenario_plan",

@@ -67,7 +67,12 @@ class Impairment:
         return image
 
 
-def _ellipse_mask(shape: tuple[int, int], center, radii, angle: float) -> np.ndarray:
+def _ellipse_mask(
+    shape: tuple[int, int],
+    center: tuple[float, float],
+    radii: tuple[float, float],
+    angle: float,
+) -> np.ndarray:
     """Boolean mask of a filled, rotated ellipse."""
     height, width = shape
     ys, xs = np.mgrid[0:height, 0:width].astype(np.float64)

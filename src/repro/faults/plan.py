@@ -33,7 +33,7 @@ from .impairments import (
     SpecularGlare,
 )
 
-__all__ = ["FaultPlan", "FAULT_REGISTRY", "IMAGE_STAGES", "STAGES"]
+__all__ = ["FaultPlan", "FAULT_REGISTRY", "IMAGE_STAGES", "STAGES", "derive_seed"]
 
 #: Image-valued hook stages, in pipeline order.
 IMAGE_STAGES = ("emission", "pre_optics", "post_optics", "sensor")
@@ -56,6 +56,24 @@ FAULT_REGISTRY: dict[str, type] = {
         CaptureDuplicate,
     )
 }
+
+
+def derive_seed(seed: int, *components: int) -> np.random.SeedSequence:
+    """The one sanctioned :class:`~numpy.random.SeedSequence` constructor.
+
+    Every RNG in the deterministic tree is derived here from a base
+    *seed* plus integer *components* (stage id, capture index, fault
+    position, ...), each masked to 32 bits so the derivation is
+    identical across platforms and process pools.  Static analysis rule
+    RB001 forbids raw ``np.random.SeedSequence(...)`` construction
+    anywhere else in ``core/``, ``channel/``, ``coding/``, ``faults/``
+    and ``link/`` — this function is its single allowlisted site, which
+    keeps seed derivation auditable in exactly one place.
+    """
+    return np.random.SeedSequence(
+        entropy=seed & 0xFFFFFFFF,
+        spawn_key=tuple(component & 0xFFFFFFFF for component in components),
+    )
 
 
 @dataclass(frozen=True)
@@ -112,10 +130,7 @@ class FaultPlan:
 
     def _rng(self, stage: str, capture_index: int, fault_index: int) -> np.random.Generator:
         key_index = capture_index if self.faults[fault_index].rng_per_capture else 0
-        seq = np.random.SeedSequence(
-            entropy=self.seed & 0xFFFFFFFF,
-            spawn_key=(STAGES.index(stage), key_index & 0xFFFFFFFF, fault_index),
-        )
+        seq = derive_seed(self.seed, STAGES.index(stage), key_index, fault_index)
         return np.random.default_rng(seq)
 
     # -- hook points -------------------------------------------------------

@@ -14,11 +14,15 @@ from __future__ import annotations
 import struct
 import zlib
 from pathlib import Path
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from .core.encoder import Frame, FrameCodecConfig, FrameEncoder
 from .core.header import FrameHeader
+
+if TYPE_CHECKING:
+    from .channel.link import Capture
 
 __all__ = [
     "write_png",
@@ -150,7 +154,7 @@ def load_frame_stream(path: str | Path, config: FrameCodecConfig | None = None) 
     return frames
 
 
-def save_captures(path: str | Path, captures) -> None:
+def save_captures(path: str | Path, captures: "Sequence[Capture]") -> None:
     """Archive a capture session (images + times) as .npz (uint8)."""
     if not captures:
         raise ValueError("no captures to save")
@@ -161,7 +165,7 @@ def save_captures(path: str | Path, captures) -> None:
     np.savez_compressed(Path(path), images=images, times=times)
 
 
-def load_captures(path: str | Path):
+def load_captures(path: str | Path) -> "list[Capture]":
     """Load a session saved by :func:`save_captures` (floats restored)."""
     from .channel.link import Capture
 

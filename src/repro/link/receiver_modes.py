@@ -23,11 +23,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
 from ..core.decoder import DecodeDiagnostics, FrameDecoder, FrameResult
 from ..core.sync import StreamReassembler
+
+if TYPE_CHECKING:
+    from ..channel.link import Capture
 
 __all__ = ["ReceiverReport", "BufferedReceiver", "RealTimeReceiver"]
 
@@ -72,7 +76,7 @@ class BufferedReceiver:
         self.reassembler = StreamReassembler(decoder.config)
         self.report = ReceiverReport()
 
-    def process(self, captures) -> ReceiverReport:
+    def process(self, captures: "Iterable[Capture]") -> ReceiverReport:
         """Decode a full list of ``Capture`` objects."""
         for capture in captures:
             self.report.captures_seen += 1
@@ -112,7 +116,7 @@ class RealTimeReceiver:
         self.reassembler = StreamReassembler(decoder.config)
         self.report = ReceiverReport()
 
-    def process(self, captures) -> ReceiverReport:
+    def process(self, captures: "Iterable[Capture]") -> ReceiverReport:
         """Run the capture stream against the simulated decode clock."""
         busy_until = -np.inf
         for capture in captures:

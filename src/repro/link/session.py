@@ -14,7 +14,7 @@ and reports the timing/goodput accounting every benchmark consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -22,7 +22,7 @@ from .. import telemetry
 from ..channel.link import LinkConfig, ScreenCameraLink
 from ..channel.screen import FrameSchedule
 from ..core.decoder import FrameDecoder
-from ..core.encoder import FrameCodecConfig, FrameEncoder
+from ..core.encoder import Frame, FrameCodecConfig, FrameEncoder
 from ..core.sync import StreamReassembler
 from .reassembly import PayloadAssembler
 
@@ -166,7 +166,12 @@ class TransferSession:
             return assembler.payload()[: len(payload)], stats
         return None, stats
 
-    def _run_round(self, frames, assembler: PayloadAssembler, stats: SessionStats) -> None:
+    def _run_round(
+        self,
+        frames: "Sequence[Frame]",
+        assembler: PayloadAssembler,
+        stats: SessionStats,
+    ) -> None:
         images = [f.render() for f in frames]
         schedule = FrameSchedule(
             images,

@@ -34,8 +34,9 @@ from __future__ import annotations
 
 import json
 import os
-from contextvars import ContextVar
+from contextvars import ContextVar, Token
 from pathlib import Path
+from typing import Any, ContextManager
 
 from .events import (
     EVENT_SCHEMA,
@@ -117,7 +118,12 @@ class TelemetryContext:
 
     __slots__ = ("tracer", "registry", "sink")
 
-    def __init__(self, tracer, registry, sink):
+    def __init__(
+        self,
+        tracer: Tracer | NullTracer,
+        registry: MetricsRegistry | NullRegistry,
+        sink: EventSink | NullEventSink,
+    ):
         self.tracer = tracer
         self.registry = registry
         self.sink = sink
@@ -195,18 +201,23 @@ def enabled() -> bool:
 class _Scope:
     def __init__(self, ctx: TelemetryContext):
         self._ctx = ctx
-        self._token = None
+        self._token: Token[TelemetryContext | None] | None = None
 
     def __enter__(self) -> TelemetryContext:
         self._token = _scoped.set(self._ctx)
         return self._ctx
 
-    def __exit__(self, *exc) -> bool:
-        _scoped.reset(self._token)
+    def __exit__(self, *exc: object) -> bool:
+        if self._token is not None:
+            _scoped.reset(self._token)
         return False
 
 
-def scoped(tracer=None, registry=None, sink=None) -> _Scope:
+def scoped(
+    tracer: Tracer | None = None,
+    registry: MetricsRegistry | None = None,
+    sink: EventSink | None = None,
+) -> _Scope:
     """Context manager installing collectors for the enclosed block.
 
     Components left as None stay disabled inside the scope (the scope
@@ -220,12 +231,12 @@ def scoped(tracer=None, registry=None, sink=None) -> _Scope:
     )
 
 
-def tracer():
+def tracer() -> Tracer | NullTracer:
     """The current tracer (a no-op when telemetry is disabled)."""
     return _current().tracer
 
 
-def active_tracer():
+def active_tracer() -> Tracer | None:
     """The current tracer, or None when tracing is disabled.
 
     Call sites that need a recording tracer either way (the decoder
@@ -236,27 +247,27 @@ def active_tracer():
     return None if t is NULL_TRACER else t
 
 
-def registry():
+def registry() -> MetricsRegistry | NullRegistry:
     """The current metrics registry (falsy no-op when disabled)."""
     return _current().registry
 
 
-def sink():
+def sink() -> EventSink | NullEventSink:
     """The current event sink (falsy no-op when disabled)."""
     return _current().sink
 
 
-def span(name: str, **attrs):
+def span(name: str, **attrs: Any) -> ContextManager[Span]:
     """Open a span on the current tracer (no-op when disabled)."""
     return _current().tracer.span(name, **attrs)
 
 
-def emit(event: str, **fields) -> dict:
+def emit(event: str, **fields: Any) -> dict[str, Any]:
     """Emit a structured event on the current sink (no-op when disabled)."""
     return _current().sink.emit(event, **fields)
 
 
-def flush(out_dir: str | Path | None = None) -> dict:
+def flush(out_dir: str | Path | None = None) -> dict[str, Path]:
     """Write the current context's trace and metrics to *out_dir*.
 
     Writes ``trace.json`` and ``metrics.json`` (events stream to their
@@ -271,7 +282,7 @@ def flush(out_dir: str | Path | None = None) -> dict:
         return {}
     out = Path(out_dir) if out_dir is not None else output_dir()
     out.mkdir(parents=True, exist_ok=True)
-    paths = {}
+    paths: dict[str, Path] = {}
     trace_path = out / "trace.json"
     trace_path.write_text(json.dumps(ctx.tracer.as_dict(), indent=2) + "\n")
     paths["trace"] = trace_path

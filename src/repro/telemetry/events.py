@@ -25,6 +25,7 @@ import json
 import os
 import subprocess
 from pathlib import Path
+from typing import IO, Any
 
 __all__ = [
     "EventSink",
@@ -69,14 +70,16 @@ def _git_revision() -> str:
 _GIT_REV_CACHE: str | None = None
 
 
-def run_metadata(seed: int | None = None, scenario: str | None = None, **extra) -> dict:
+def run_metadata(
+    seed: int | None = None, scenario: str | None = None, **extra: Any
+) -> dict[str, Any]:
     """Per-run metadata dict for the leading ``run`` event."""
     global _GIT_REV_CACHE
     if _GIT_REV_CACHE is None:
         _GIT_REV_CACHE = _git_revision()
     from .. import __version__
 
-    meta = {"version": __version__, "git_rev": _GIT_REV_CACHE}
+    meta: dict[str, Any] = {"version": __version__, "git_rev": _GIT_REV_CACHE}
     if seed is not None:
         meta["seed"] = int(seed)
     if scenario is not None:
@@ -94,23 +97,23 @@ class EventSink:
     line is flushed immediately.
     """
 
-    def __init__(self, path: str | Path | None = None, meta: dict | None = None):
+    def __init__(self, path: str | Path | None = None, meta: dict[str, Any] | None = None):
         self.path = Path(path) if path is not None else None
-        self.buffer: list[dict] = []
-        self._file = None
+        self.buffer: list[dict[str, Any]] = []
+        self._file: IO[str] | None = None
         self._seq = 0
         self._meta = meta
 
-    def emit(self, event: str, **fields) -> dict:
+    def emit(self, event: str, **fields: Any) -> dict[str, Any]:
         """Append one event line; returns the emitted object."""
         if self._seq == 0 and event != "run":
             self._emit_obj({"event": "run", "seq": 0, "meta": self._meta or run_metadata()})
-        obj = {"event": event, "seq": self._seq}
+        obj: dict[str, Any] = {"event": event, "seq": self._seq}
         obj.update(fields)
         self._emit_obj(obj)
         return obj
 
-    def _emit_obj(self, obj: dict) -> None:
+    def _emit_obj(self, obj: dict[str, Any]) -> None:
         self._seq += 1
         if self.path is None:
             self.buffer.append(obj)
@@ -129,7 +132,7 @@ class EventSink:
     def __enter__(self) -> "EventSink":
         return self
 
-    def __exit__(self, *exc) -> bool:
+    def __exit__(self, *exc: object) -> bool:
         self.close()
         return False
 
@@ -138,12 +141,12 @@ class NullEventSink:
     """Zero-cost sink used whenever telemetry is disabled."""
 
     __slots__ = ()
-    buffer: list = []
+    buffer: list[dict[str, Any]] = []
 
     def __bool__(self) -> bool:
         return False
 
-    def emit(self, event: str, **fields) -> dict:
+    def emit(self, event: str, **fields: Any) -> dict[str, Any]:
         return {}
 
     def close(self) -> None:
@@ -165,7 +168,9 @@ def shard_path(directory: str | Path, worker: int | str | None = None) -> Path:
     return Path(directory) / f"events-{worker}.jsonl"
 
 
-def merge_shards(directory: str | Path, out_path: str | Path | None = None) -> list[dict]:
+def merge_shards(
+    directory: str | Path, out_path: str | Path | None = None
+) -> list[dict[str, Any]]:
     """Merge every ``events-*.jsonl`` shard under *directory*.
 
     Lines are ordered by the deterministic key ``(scenario, seed,
@@ -177,11 +182,11 @@ def merge_shards(directory: str | Path, out_path: str | Path | None = None) -> l
     event objects; writes them to *out_path* as JSONL when given.
     """
     directory = Path(directory)
-    keyed = []
+    keyed: list[tuple[tuple[str, int, str, int], dict[str, Any]]] = []
     for shard in sorted(directory.glob("events-*.jsonl")):
         with open(shard, encoding="utf-8") as fh:
             objs = [json.loads(line) for line in fh if line.strip()]
-        shard_meta: dict = {}
+        shard_meta: dict[str, Any] = {}
         for obj in objs:
             if obj.get("event") == "run" and isinstance(obj.get("meta"), dict):
                 shard_meta = obj["meta"]
@@ -205,7 +210,7 @@ def merge_shards(directory: str | Path, out_path: str | Path | None = None) -> l
     return merged
 
 
-def validate_event(obj) -> str | None:
+def validate_event(obj: object) -> str | None:
     """Schema-check one event object; returns an error string or None."""
     if not isinstance(obj, dict):
         return f"event line is not an object: {type(obj).__name__}"

@@ -26,6 +26,7 @@ Determinism rules:
 from __future__ import annotations
 
 import json
+from typing import Any, Iterable, Sequence
 
 import numpy as np
 
@@ -87,7 +88,7 @@ class Histogram:
 
     __slots__ = ("bounds", "counts", "count", "sum")
 
-    def __init__(self, bounds):
+    def __init__(self, bounds: Iterable[float]):
         bounds = tuple(float(b) for b in bounds)
         if not bounds:
             raise ValueError("histogram needs at least one bucket bound")
@@ -101,7 +102,7 @@ class Histogram:
     def observe(self, value: float) -> None:
         self.observe_many((value,))
 
-    def observe_many(self, values) -> None:
+    def observe_many(self, values: Sequence[float] | np.ndarray) -> None:
         values = np.asarray(values, dtype=np.float64).ravel()
         if values.size == 0:
             return
@@ -113,7 +114,7 @@ class Histogram:
         self.sum += float(values.sum())
 
 
-def _metric_key(name: str, labels: dict) -> str:
+def _metric_key(name: str, labels: dict[str, object]) -> str:
     """Canonical flat key: ``name{k=v,...}`` with sorted labels."""
     if not labels:
         return name
@@ -129,7 +130,7 @@ class MetricsRegistry:
     excluded from deterministic snapshots.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
@@ -140,7 +141,7 @@ class MetricsRegistry:
 
     # -- accessors ---------------------------------------------------------
 
-    def counter(self, name: str, timing: bool = False, **labels) -> Counter:
+    def counter(self, name: str, timing: bool = False, **labels: object) -> Counter:
         key = _metric_key(name, labels)
         metric = self._counters.get(key)
         if metric is None:
@@ -149,7 +150,7 @@ class MetricsRegistry:
                 self._timing.add(key)
         return metric
 
-    def gauge(self, name: str, timing: bool = False, **labels) -> Gauge:
+    def gauge(self, name: str, timing: bool = False, **labels: object) -> Gauge:
         key = _metric_key(name, labels)
         metric = self._gauges.get(key)
         if metric is None:
@@ -158,7 +159,9 @@ class MetricsRegistry:
                 self._timing.add(key)
         return metric
 
-    def histogram(self, name: str, bounds, timing: bool = False, **labels) -> Histogram:
+    def histogram(
+        self, name: str, bounds: Iterable[float], timing: bool = False, **labels: object
+    ) -> Histogram:
         key = _metric_key(name, labels)
         metric = self._histograms.get(key)
         if metric is None:
@@ -187,7 +190,7 @@ class MetricsRegistry:
 
     # -- snapshot / merge --------------------------------------------------
 
-    def snapshot(self, include_timing: bool = True) -> dict:
+    def snapshot(self, include_timing: bool = True) -> dict[str, Any]:
         """Plain-dict snapshot, canonically ordered and JSON-able."""
 
         def keep(key: str) -> bool:
@@ -211,7 +214,7 @@ class MetricsRegistry:
             },
         }
 
-    def merge_snapshot(self, snap: dict) -> "MetricsRegistry":
+    def merge_snapshot(self, snap: dict[str, Any]) -> "MetricsRegistry":
         """Fold one snapshot into this registry; returns self."""
         for key, value in snap.get("counters", {}).items():
             # Keys arrive with labels already flattened in; store verbatim.
@@ -239,7 +242,7 @@ class MetricsRegistry:
         return json.dumps(self.snapshot(include_timing), indent=indent, sort_keys=True)
 
 
-def merge_snapshots(snapshots) -> dict:
+def merge_snapshots(snapshots: Iterable[dict[str, Any]]) -> dict[str, Any]:
     """Fold an ordered sequence of snapshots into one merged snapshot.
 
     The fold is left-to-right; because counters and bucket counts are
@@ -269,7 +272,7 @@ class _NullMetric:
     def observe(self, value: float) -> None:
         pass
 
-    def observe_many(self, values) -> None:
+    def observe_many(self, values: Sequence[float] | np.ndarray) -> None:
         pass
 
 
@@ -286,19 +289,21 @@ class NullRegistry:
     def __bool__(self) -> bool:
         return False
 
-    def counter(self, name: str, timing: bool = False, **labels) -> _NullMetric:
+    def counter(self, name: str, timing: bool = False, **labels: object) -> _NullMetric:
         return _NULL_METRIC
 
-    def gauge(self, name: str, timing: bool = False, **labels) -> _NullMetric:
+    def gauge(self, name: str, timing: bool = False, **labels: object) -> _NullMetric:
         return _NULL_METRIC
 
-    def histogram(self, name: str, bounds, timing: bool = False, **labels) -> _NullMetric:
+    def histogram(
+        self, name: str, bounds: Iterable[float], timing: bool = False, **labels: object
+    ) -> _NullMetric:
         return _NULL_METRIC
 
-    def counter_family(self, name: str) -> dict:
+    def counter_family(self, name: str) -> dict[str, int]:
         return {}
 
-    def snapshot(self, include_timing: bool = True) -> dict:
+    def snapshot(self, include_timing: bool = True) -> dict[str, Any]:
         return {"counters": {}, "gauges": {}, "histograms": {}}
 
 

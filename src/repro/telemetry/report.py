@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import Any, Iterable
 
 from ..core.decoder import DECODE_STAGES
 from .events import merge_shards, validate_events_file
@@ -27,13 +28,15 @@ from .events import merge_shards, validate_events_file
 __all__ = ["build_report", "format_report", "check_report", "write_report"]
 
 
-def _load_json(path: Path) -> dict:
+def _load_json(path: Path) -> dict[str, Any]:
     if not path.exists():
         return {}
     return json.loads(path.read_text())
 
 
-def _span_stats(spans, stats: dict) -> None:
+def _span_stats(
+    spans: Iterable[dict[str, Any]], stats: dict[str, dict[str, Any]]
+) -> None:
     for span in spans:
         entry = stats.setdefault(span["name"], {"count": 0, "total_ms": 0.0, "errors": 0})
         entry["count"] += 1
@@ -43,14 +46,14 @@ def _span_stats(spans, stats: dict) -> None:
         _span_stats(span.get("children", ()), stats)
 
 
-def build_report(telemetry_dir: str | Path) -> dict:
+def build_report(telemetry_dir: str | Path) -> dict[str, Any]:
     """Aggregate the artifacts under *telemetry_dir* into one report."""
     telemetry_dir = Path(telemetry_dir)
     trace = _load_json(telemetry_dir / "trace.json")
     metrics = _load_json(telemetry_dir / "metrics.json")
     events = merge_shards(telemetry_dir)
 
-    stage_stats: dict[str, dict] = {}
+    stage_stats: dict[str, dict[str, Any]] = {}
     _span_stats(trace.get("spans", ()), stage_stats)
     for entry in stage_stats.values():
         entry["total_ms"] = round(entry["total_ms"], 4)
@@ -79,7 +82,7 @@ def build_report(telemetry_dir: str | Path) -> dict:
     }
 
 
-def format_report(report: dict) -> str:
+def format_report(report: dict[str, Any]) -> str:
     """Human-readable rendering of :func:`build_report`'s output."""
     lines = [f"telemetry report — {report['telemetry_dir']}", ""]
 
@@ -160,7 +163,7 @@ def check_report(telemetry_dir: str | Path) -> list[str]:
 
 
 def write_report(
-    report: dict, out_dir: str | Path, stem: str = "T1_telemetry_report"
+    report: dict[str, Any], out_dir: str | Path, stem: str = "T1_telemetry_report"
 ) -> tuple[Path, Path]:
     """Write the text and JSON renderings under *out_dir*."""
     out = Path(out_dir)

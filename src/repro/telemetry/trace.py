@@ -30,6 +30,8 @@ from __future__ import annotations
 
 import json
 import time
+from types import TracebackType
+from typing import Any, Iterator
 
 __all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
 
@@ -39,7 +41,7 @@ class Span:
 
     __slots__ = ("name", "attrs", "children", "start_s", "duration_s", "status", "error")
 
-    def __init__(self, name: str, attrs: dict | None = None):
+    def __init__(self, name: str, attrs: dict[str, Any] | None = None):
         self.name = name
         self.attrs = attrs or {}
         self.children: list[Span] = []
@@ -53,14 +55,14 @@ class Span:
     def duration_ms(self) -> float:
         return self.duration_s * 1000.0
 
-    def iter_spans(self):
+    def iter_spans(self) -> Iterator["Span"]:
         """Yield this span and every descendant, depth-first."""
         yield self
         for child in self.children:
             yield from child.iter_spans()
 
-    def as_dict(self) -> dict:
-        doc = {
+    def as_dict(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {
             "name": self.name,
             "start_ms": round(self.start_s * 1000.0, 4),
             "duration_ms": round(self.duration_ms, 4),
@@ -99,7 +101,12 @@ class _SpanContext:
         span.start_s = time.perf_counter() - tracer.epoch
         return span
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         span = self._span
         span.duration_s = (time.perf_counter() - self._tracer.epoch) - span.start_s
         if exc_type is not None:
@@ -122,17 +129,17 @@ class Tracer:
         self.roots: list[Span] = []
         self._stack: list[Span] = []
 
-    def span(self, name: str, **attrs) -> _SpanContext:
+    def span(self, name: str, **attrs: Any) -> _SpanContext:
         """Open a span; use as ``with tracer.span("corners") as s: ...``."""
         return _SpanContext(self, Span(name, attrs or None))
 
     # -- queries -----------------------------------------------------------
 
-    def iter_spans(self):
+    def iter_spans(self) -> Iterator[Span]:
         for root in self.roots:
             yield from root.iter_spans()
 
-    def span_names(self) -> set:
+    def span_names(self) -> set[str]:
         """Every distinct span name recorded so far."""
         return {span.name for span in self.iter_spans()}
 
@@ -149,7 +156,7 @@ class Tracer:
 
     # -- serialization -----------------------------------------------------
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         return {"trace": self.name, "spans": [root.as_dict() for root in self.roots]}
 
     def to_json(self, indent: int = 2) -> str:
@@ -164,7 +171,12 @@ class _NullSpanContext:
     def __enter__(self) -> Span:
         return _NULL_SPAN
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         return False
 
 
@@ -177,22 +189,22 @@ class NullTracer:
 
     __slots__ = ()
 
-    def span(self, name: str, **attrs) -> _NullSpanContext:
+    def span(self, name: str, **attrs: Any) -> _NullSpanContext:
         return _NULL_SPAN_CONTEXT
 
-    def iter_spans(self):
+    def iter_spans(self) -> Iterator[Span]:
         return iter(())
 
-    def span_names(self) -> set:
+    def span_names(self) -> set[str]:
         return set()
 
-    def find(self, name: str) -> list:
+    def find(self, name: str) -> list[Span]:
         return []
 
-    def stage_totals(self) -> dict:
+    def stage_totals(self) -> dict[str, float]:
         return {}
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         return {"trace": "null", "spans": []}
 
 

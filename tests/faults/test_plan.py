@@ -145,3 +145,45 @@ class TestConstructionAndScenarios:
             assert out.shape == image.shape
             assert np.isfinite(out).all()
             assert not np.array_equal(out, image)
+
+
+class TestDeriveSeed:
+    """`derive_seed` is the single sanctioned SeedSequence constructor."""
+
+    def test_same_inputs_same_streams(self):
+        from repro.faults import derive_seed
+
+        a = np.random.default_rng(derive_seed(7, 1, 2, 3)).random(16)
+        b = np.random.default_rng(derive_seed(7, 1, 2, 3)).random(16)
+        np.testing.assert_array_equal(a, b)
+
+    def test_component_changes_decorrelate(self):
+        from repro.faults import derive_seed
+
+        base = np.random.default_rng(derive_seed(7, 1, 2, 3)).random(16)
+        for other in (derive_seed(8, 1, 2, 3), derive_seed(7, 0, 2, 3),
+                      derive_seed(7, 1, 2, 4), derive_seed(7, 1, 2)):
+            assert not np.array_equal(
+                base, np.random.default_rng(other).random(16)
+            )
+
+    def test_components_masked_to_32_bits(self):
+        from repro.faults import derive_seed
+
+        wide = derive_seed(7 + (1 << 40), 2 + (1 << 40))
+        narrow = derive_seed(7, 2)
+        np.testing.assert_array_equal(
+            np.random.default_rng(wide).random(8),
+            np.random.default_rng(narrow).random(8),
+        )
+
+    def test_plan_rng_matches_pre_refactor_derivation(self):
+        """FaultPlan._rng must keep the exact pre-derive_seed streams."""
+        plan = FaultPlan((ShutterJitter(),), seed=123)
+        expected = np.random.default_rng(
+            np.random.SeedSequence(
+                entropy=123, spawn_key=(STAGES.index("shutter"), 5, 0)
+            )
+        ).random(8)
+        got = plan._rng("shutter", 5, 0).random(8)
+        np.testing.assert_array_equal(expected, got)
