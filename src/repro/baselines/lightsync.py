@@ -33,7 +33,7 @@ from ..core.decoder import CaptureExtraction, FrameDecoder, FrameResult
 from ..core.encoder import FrameCodecConfig, FrameEncoder
 from ..core.header import FrameHeader
 from ..core.layout import FrameLayout
-from ..core.palette import Color, symbols_to_bytes
+from ..core.palette import Color
 from ..core.sync import StreamReassembler
 
 if TYPE_CHECKING:

@@ -36,7 +36,6 @@ from .brightness import DEFAULT_T_SAT, estimate_black_threshold
 from .corners import CornerDetection, CornerDetectionError, detect_corner_trackers
 from .encoder import FrameCodecConfig
 from .header import HEADER_BYTES, FrameHeader, HeaderError
-from .layout import FrameLayout
 from .locators import (
     LocatorColumn,
     LocatorError,

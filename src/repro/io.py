@@ -18,7 +18,7 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
-from .core.encoder import Frame, FrameCodecConfig, FrameEncoder
+from .core.encoder import Frame, FrameCodecConfig
 from .core.header import FrameHeader
 
 if TYPE_CHECKING:

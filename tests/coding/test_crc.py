@@ -1,6 +1,5 @@
 """CRC-8 / CRC-16 vectors and error-detection behaviour."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

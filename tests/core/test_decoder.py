@@ -8,7 +8,6 @@ from repro.core.decoder import DecodeError, FrameDecoder, assemble_frame
 from repro.core.encoder import FrameCodecConfig, FrameEncoder
 from repro.core.header import FrameHeader
 from repro.core.layout import FrameLayout
-from repro.core.palette import Color
 from repro.imaging.filters import gaussian_blur
 from repro.imaging.geometry import PinholeSetup, warp_perspective
 from repro.imaging.noise import add_gaussian_noise

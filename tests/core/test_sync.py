@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.decoder import CaptureExtraction, DecodeDiagnostics
 from repro.core.encoder import FrameCodecConfig, FrameEncoder
-from repro.core.header import FrameHeader
 from repro.core.layout import FrameLayout
 from repro.core.sync import StreamReassembler
 

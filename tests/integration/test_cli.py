@@ -1,6 +1,5 @@
 """The command-line interface, end to end."""
 
-import numpy as np
 import pytest
 
 from repro.cli import main

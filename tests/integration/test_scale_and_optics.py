@@ -1,7 +1,6 @@
 """Full-scale S4 geometry and lens-distortion robustness."""
 
 import numpy as np
-import pytest
 
 from repro.channel.link import LinkConfig, ScreenCameraLink
 from repro.channel.mobility import tripod
