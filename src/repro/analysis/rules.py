@@ -84,6 +84,24 @@ _WALL_CLOCK = frozenset(
     }
 )
 
+#: Monotonic-clock reads.  Under telemetry/ these are legitimate only in
+#: the span recorder itself (``telemetry/trace.py``); everywhere else —
+#: the report, the Chrome-trace exporter, the percentile aggregator, the
+#: perf ledger and the campaign tail — durations must come from
+#: *recorded* span data, never from a fresh clock read, or exported
+#: artifacts stop being pure functions of their inputs.
+_MONOTONIC_CLOCK = frozenset(
+    {
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+    }
+)
+
+#: The one telemetry module allowed to read the monotonic clock.
+_SPAN_RECORDER = "trace.py"
+
 
 @dataclass(frozen=True)
 class Violation:
@@ -501,11 +519,13 @@ class RB004TelemetryHygiene(Rule):
                 )
 
         if ctx.package == "telemetry":
+            basename = ctx.relpath.replace("\\", "/").rsplit("/", 1)[-1]
+            is_span_recorder = basename == _SPAN_RECORDER
             for call in _iter_calls(tree):
                 name = dotted_name(call.func)
-                if name and any(
-                    name == w or name.endswith("." + w) for w in _WALL_CLOCK
-                ):
+                if not name:
+                    continue
+                if any(name == w or name.endswith("." + w) for w in _WALL_CLOCK):
                     out.append(
                         self.violation(
                             ctx,
@@ -513,6 +533,18 @@ class RB004TelemetryHygiene(Rule):
                             f"`{name}()` reads the wall clock under telemetry/; "
                             "use perf_counter offsets so merges stay "
                             "deterministic",
+                        )
+                    )
+                elif not is_span_recorder and any(
+                    name == w or name.endswith("." + w) for w in _MONOTONIC_CLOCK
+                ):
+                    out.append(
+                        self.violation(
+                            ctx,
+                            call,
+                            f"`{name}()` reads a clock under telemetry/ outside "
+                            "the span recorder; exporters/aggregators must "
+                            "derive timings from recorded spans only",
                         )
                     )
         return out

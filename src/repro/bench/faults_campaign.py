@@ -19,6 +19,7 @@ fault, not absolute paper throughput.
 from __future__ import annotations
 
 import json
+import time
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -48,6 +49,12 @@ __all__ = [
 #: Reduced campaign geometry (see module docstring).
 CAMPAIGN_GRID = (24, 44, 8)  # grid_rows, grid_cols, block_px
 CAMPAIGN_SENSOR = (300, 480)  # sensor height, width
+
+#: Per-process reference instant for laying successive trial traces out
+#: sequentially on one timeline (each worker gets its own on import).
+_PROCESS_EPOCH = time.perf_counter()
+#: Trials completed by this process — the heartbeat's progress counter.
+_COMPLETED = 0
 
 
 @dataclass(frozen=True)
@@ -132,12 +139,17 @@ class ScenarioSummary:
         On every capture-level stage the two agree — the telemetry
         integration test asserts it.
         """
-        out: dict[str, int] = {}
-        prefix = "decode.failures{stage="
-        for key, value in self.metrics.get("counters", {}).items():
-            if key.startswith(prefix) and key.endswith("}"):
-                out[key[len(prefix):-1]] = int(value)
-        return out
+        return _failure_stages(self.metrics)
+
+
+def _failure_stages(metrics: dict) -> dict[str, int]:
+    """``decode.failures{stage=...}`` histogram of a metrics snapshot."""
+    out: dict[str, int] = {}
+    prefix = "decode.failures{stage="
+    for key, value in metrics.get("counters", {}).items():
+        if key.startswith(prefix) and key.endswith("}"):
+            out[key[len(prefix):-1]] = int(value)
+    return out
 
 
 def _campaign_config(num_frames: int) -> tuple[FrameCodecConfig, LinkConfig, int]:
@@ -177,10 +189,16 @@ def run_fault_trial(
     # deterministic snapshot travels with the (picklable) result no
     # matter which worker process ran it.  Timing metrics are excluded:
     # the snapshot must be a pure function of (scenario, seed).
+    # When the process has a live event sink (REPRO_TELEMETRY=1), the
+    # trial also records a span tree and streams it — plus a progress
+    # heartbeat — into this worker's shard after the trial; the
+    # deterministic result below never depends on either.
+    process_sink = telemetry.sink()
+    tracer = telemetry.Tracer(f"{scenario}:{seed}") if process_sink else None
     registry = MetricsRegistry()
-    with telemetry.scoped(registry=registry):
+    with telemetry.scoped(registry=registry, tracer=tracer):
         recovered, stats = session.transmit(payload, max_rounds=max_rounds)
-    return FaultTrialResult(
+    result = FaultTrialResult(
         scenario=scenario,
         seed=seed,
         delivered=recovered == payload,
@@ -192,6 +210,40 @@ def run_fault_trial(
         captures_dropped=stats.captures_dropped,
         drop_reasons=dict(stats.drop_reasons),
         metrics=registry.snapshot(include_timing=False),
+    )
+    if process_sink and tracer is not None:
+        _emit_trial_events(process_sink, tracer, result)
+    return result
+
+
+def _emit_trial_events(
+    sink: "telemetry.EventSink | telemetry.NullEventSink",
+    tracer: "telemetry.Tracer",
+    result: FaultTrialResult,
+) -> None:
+    """Stream one finished trial's spans plus a progress heartbeat.
+
+    Span start offsets are rebased from the trial tracer's epoch onto
+    this process's timeline so successive trials of one worker lay out
+    sequentially in the exported Chrome trace.  The heartbeat carries
+    the worker-local completion counter and the trial's failure-stage
+    histogram for ``repro telemetry tail``.
+    """
+    global _COMPLETED
+    base_ms = round((tracer.epoch - _PROCESS_EPOCH) * 1000.0, 4)
+    for record in tracer.span_records(base_ms):
+        sink.emit("span", scenario=result.scenario, seed=result.seed, **record)
+    _COMPLETED += 1
+    sink.emit(
+        "progress",
+        scenario=result.scenario,
+        seed=result.seed,
+        completed=_COMPLETED,
+        delivered=int(result.delivered),
+        rounds=result.rounds,
+        captures=result.captures,
+        captures_dropped=result.captures_dropped,
+        failure_stages=_failure_stages(result.metrics),
     )
 
 

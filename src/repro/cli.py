@@ -9,12 +9,19 @@ Commands
 ``info``      describe a saved frame stream
 ``faults-campaign``  sweep the fault-injection matrix across seeds
 ``telemetry``  report on a ``REPRO_TELEMETRY=1`` run's artifacts
+(``report``/``export-trace``/``aggregate``/``tail``)
+``perf``      perf-ledger tooling: ``diff`` two snapshots, ``check``
+current timings against a baseline under ``budgets.toml``
 
 The CLI wraps the same public API the examples use; it exists so the
 library is drivable without writing Python.  When ``REPRO_TELEMETRY=1``
 is set, every command flushes its trace/metrics artifacts to
 ``$REPRO_TELEMETRY_DIR`` (default ``telemetry/``) on exit; ``repro
-telemetry report`` then renders them.
+telemetry report`` then renders them, ``repro telemetry export-trace``
+converts them into Perfetto-loadable Chrome trace JSON, and ``repro
+perf check`` gates per-stage decode timings against the committed
+``BENCH_decode.json`` (exit 0 pass / 1 regression / 2 usage error,
+mirroring ``repro analyze``).
 """
 
 from __future__ import annotations
@@ -115,6 +122,97 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate the artifacts (schema, run header, trace coverage); "
              "exit non-zero on problems",
     )
+
+    exp = tel_sub.add_parser(
+        "export-trace",
+        help="export recorded spans as Chrome trace_event JSON (Perfetto)",
+        description=(
+            "Converts trace.json trees and events-*.jsonl worker shards "
+            "into one chrome://tracing / Perfetto loadable timeline; each "
+            "input source becomes its own pid track."
+        ),
+    )
+    exp.add_argument(
+        "inputs", nargs="*",
+        help="telemetry dirs, trace.json files or events-*.jsonl shards "
+             "(default: the telemetry directory)",
+    )
+    exp.add_argument("-o", "--output", default="trace_chrome.json",
+                     help="output trace JSON path")
+
+    agg = tel_sub.add_parser(
+        "aggregate",
+        help="fold span trees into per-stage self/wall-time p50/p95/p99",
+        description=(
+            "Aggregates every span in the given inputs into per-stage "
+            "wall-time and self-time percentiles; the merge is "
+            "associative, so any worker count yields identical tables."
+        ),
+    )
+    agg.add_argument(
+        "inputs", nargs="*",
+        help="telemetry dirs, trace.json files or events-*.jsonl shards "
+             "(default: the telemetry directory)",
+    )
+    agg.add_argument("--json", dest="json_out", default=None,
+                     help="also write the summary as JSON here")
+
+    tail_p = tel_sub.add_parser(
+        "tail",
+        help="live per-scenario campaign progress from worker heartbeats",
+        description=(
+            "Reads the progress events faults_campaign workers stream "
+            "into their shards and renders trials completed, frames "
+            "delivered and failure-stage counts per scenario."
+        ),
+    )
+    tail_p.add_argument(
+        "--dir", default=None,
+        help="telemetry directory (default: $REPRO_TELEMETRY_DIR or telemetry/)",
+    )
+    tail_p.add_argument("--follow", action="store_true",
+                        help="keep refreshing until interrupted")
+    tail_p.add_argument("--interval", type=float, default=2.0,
+                        help="refresh interval in seconds (with --follow)")
+    tail_p.add_argument("--expected-trials", type=int, default=None,
+                        help="total trials per scenario, for progress fractions")
+    tail_p.add_argument("--refreshes", type=int, default=None,
+                        help="stop --follow after this many refreshes")
+
+    perf = sub.add_parser(
+        "perf",
+        help="perf ledger: diff snapshots, gate timings against budgets",
+        description=(
+            "Works on the benchmark snapshots perf_snapshot.py records "
+            "(BENCH_decode.json and the append-only JSONL ledger).  "
+            "Snapshot arguments accept a .json path or ledger.jsonl@N "
+            "(N may be negative; @-1 is the latest record)."
+        ),
+    )
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+
+    pdiff = perf_sub.add_parser("diff", help="per-stage delta between two snapshots")
+    pdiff.add_argument("snapshot_a", help="old snapshot (.json or ledger.jsonl@N)")
+    pdiff.add_argument("snapshot_b", help="new snapshot (.json or ledger.jsonl@N)")
+
+    pcheck = perf_sub.add_parser(
+        "check",
+        help="gate stage timings against a baseline under budgets",
+        description=(
+            "Measures a fresh per-stage decode breakdown (or loads one "
+            "with --current) and fails if any stage exceeds "
+            "baseline * ratio + slack_ms, or its max_ms cap.  Exit 0 "
+            "pass, 1 regression, 2 usage error."
+        ),
+    )
+    pcheck.add_argument("--baseline", default="BENCH_decode.json",
+                        help="baseline snapshot (.json or ledger.jsonl@N)")
+    pcheck.add_argument("--budget", default="budgets.toml",
+                        help="budgets file (.toml or .json)")
+    pcheck.add_argument("--current", default=None,
+                        help="snapshot to check instead of measuring live")
+    pcheck.add_argument("--repeats", type=int, default=3,
+                        help="best-of repeats for the live measurement")
 
     ana = sub.add_parser(
         "analyze",
@@ -322,6 +420,99 @@ def _cmd_faults_campaign(args: argparse.Namespace) -> int:
 
 
 def _cmd_telemetry(args: argparse.Namespace) -> int:
+    if args.telemetry_command == "export-trace":
+        return _cmd_telemetry_export_trace(args)
+    if args.telemetry_command == "aggregate":
+        return _cmd_telemetry_aggregate(args)
+    if args.telemetry_command == "tail":
+        return _cmd_telemetry_tail(args)
+    return _cmd_telemetry_report(args)
+
+
+def _telemetry_inputs(inputs: list[str]) -> list[str]:
+    """CLI trace inputs, defaulting to the active telemetry directory."""
+    from . import telemetry
+
+    if inputs:
+        return inputs
+    directory = telemetry.output_dir()
+    if not directory.is_dir():
+        raise FileNotFoundError(
+            f"no telemetry directory at {directory} "
+            f"(run something with {telemetry.ENV_TOGGLE}=1 first, or pass inputs)"
+        )
+    return [str(directory)]
+
+
+def _cmd_telemetry_export_trace(args: argparse.Namespace) -> int:
+    from .telemetry.perf import export_chrome_trace, validate_chrome_trace
+
+    try:
+        inputs = _telemetry_inputs(args.inputs)
+        doc = export_chrome_trace(inputs, args.output)
+    except (FileNotFoundError, ValueError, OSError) as exc:
+        print(f"export-trace: {exc}", file=sys.stderr)
+        return 2
+    problems = validate_chrome_trace(doc)
+    if problems:  # pragma: no cover - exporter and validator agree by construction
+        for problem in problems:
+            print(f"export-trace: {problem}", file=sys.stderr)
+        return 1
+    events = doc["traceEvents"]
+    spans = sum(1 for e in events if e.get("ph") == "X")
+    pids = len({e["pid"] for e in events})
+    print(f"wrote {args.output}: {spans} spans across {pids} process track(s) "
+          "(load in Perfetto or chrome://tracing)")
+    return 0
+
+
+def _cmd_telemetry_aggregate(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from .telemetry.perf import StageAggregate, format_summary, load_trace_sources
+
+    try:
+        inputs = _telemetry_inputs(args.inputs)
+        sources = load_trace_sources(inputs)
+    except (FileNotFoundError, ValueError, OSError) as exc:
+        print(f"aggregate: {exc}", file=sys.stderr)
+        return 2
+    if not sources:
+        print("aggregate: no spans found in the given inputs", file=sys.stderr)
+        return 2
+    aggregate = StageAggregate()
+    for source in sources:
+        aggregate.add_records(source.spans)
+    summary = aggregate.summary()
+    print(format_summary(summary))
+    if args.json_out:
+        out = Path(args.json_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json_mod.dumps(summary, indent=2, sort_keys=True) + "\n")
+        print(f"\nwrote {out}")
+    return 0
+
+
+def _cmd_telemetry_tail(args: argparse.Namespace) -> int:
+    from . import telemetry
+    from .telemetry.perf import tail
+
+    directory = Path(args.dir) if args.dir else telemetry.output_dir()
+    if not directory.is_dir():
+        print(f"no telemetry directory at {directory} "
+              f"(run something with {telemetry.ENV_TOGGLE}=1 first)", file=sys.stderr)
+        return 2
+    tail(
+        directory,
+        follow=args.follow,
+        interval=args.interval,
+        expected_trials=args.expected_trials,
+        max_refreshes=args.refreshes,
+    )
+    return 0
+
+
+def _cmd_telemetry_report(args: argparse.Namespace) -> int:
     from . import telemetry
     from .telemetry.report import build_report, check_report, format_report, write_report
 
@@ -348,6 +539,42 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from .telemetry.perf import (
+        check_snapshot,
+        diff_snapshots,
+        format_check,
+        format_diff,
+        load_budgets,
+        measure_stage_breakdown,
+        resolve_snapshot,
+    )
+
+    if args.perf_command == "diff":
+        try:
+            a = resolve_snapshot(args.snapshot_a)
+            b = resolve_snapshot(args.snapshot_b)
+        except (OSError, ValueError) as exc:
+            print(f"perf diff: {exc}", file=sys.stderr)
+            return 2
+        print(format_diff(diff_snapshots(a, b), args.snapshot_a, args.snapshot_b))
+        return 0
+
+    try:
+        baseline = resolve_snapshot(args.baseline)
+        budgets = load_budgets(args.budget)
+        if args.current is not None:
+            current = resolve_snapshot(args.current)
+        else:
+            current = measure_stage_breakdown(repeats=args.repeats)
+        verdicts = check_snapshot(current, baseline, budgets)
+    except (OSError, ValueError) as exc:
+        print(f"perf check: {exc}", file=sys.stderr)
+        return 2
+    print(format_check(verdicts))
+    return 0 if all(v.ok for v in verdicts) else 1
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from .analysis.__main__ import main as analyze_main
 
@@ -362,6 +589,7 @@ _COMMANDS = {
     "info": _cmd_info,
     "faults-campaign": _cmd_faults_campaign,
     "telemetry": _cmd_telemetry,
+    "perf": _cmd_perf,
     "analyze": _cmd_analyze,
 }
 

@@ -49,6 +49,12 @@ EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
     "capture_dropped": ("stage",),
     "frame": ("sequence", "ok"),
     "session_end": ("delivered", "rounds"),
+    # One flattened tracing span (see Span.flat_records); campaign
+    # workers stream their per-trial span trees through these.
+    "span": ("name", "start_ms", "duration_ms", "depth"),
+    # Periodic campaign heartbeat: one per completed trial, carrying
+    # the worker's running progress for `repro telemetry tail`.
+    "progress": ("scenario", "seed", "completed"),
 }
 
 

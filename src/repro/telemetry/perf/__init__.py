@@ -1,0 +1,83 @@
+"""Performance observatory: trace export, percentile aggregation, perf gate.
+
+This subpackage turns the artifacts a telemetry-enabled run already
+produces (span trees, JSONL event shards, benchmark snapshots) into
+performance tooling:
+
+* :mod:`~repro.telemetry.perf.chrome_trace` — export recorded spans as
+  Chrome ``trace_event`` JSON loadable in Perfetto / ``chrome://tracing``
+  (``repro telemetry export-trace``);
+* :mod:`~repro.telemetry.perf.aggregate` — fold per-trial span trees
+  into per-stage wall/self-time p50/p95/p99 with a bit-identical,
+  associative merge (``repro telemetry aggregate``);
+* :mod:`~repro.telemetry.perf.ledger` — the append-only perf ledger,
+  snapshot diffing and the budget regression gate (``repro perf``);
+* :mod:`~repro.telemetry.perf.tail` — live campaign progress from
+  worker heartbeats (``repro telemetry tail``).
+
+Everything here post-processes *recorded* timings; rule RB004 bans
+fresh wall-clock reads throughout the telemetry package.  The parent
+:mod:`repro.telemetry` facade intentionally does **not** import this
+subpackage — the pipeline never needs it, only the CLI and benchmarks
+do (and they import it lazily).
+"""
+
+from .aggregate import PERCENTILES, StageAggregate, format_summary, nearest_rank
+from .chrome_trace import (
+    TraceSource,
+    export_chrome_trace,
+    flatten_span_tree,
+    load_trace_sources,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+from .ledger import (
+    LEDGER_SCHEMA_VERSION,
+    Budget,
+    StageVerdict,
+    append_record,
+    check_snapshot,
+    diff_snapshots,
+    format_check,
+    format_diff,
+    load_budgets,
+    measure_stage_breakdown,
+    read_ledger,
+    resolve_snapshot,
+    snapshot_host,
+    snapshot_stage_ms,
+    stamp_snapshot,
+)
+from .tail import ScenarioProgress, collect_progress, format_progress, tail
+
+__all__ = [
+    "PERCENTILES",
+    "StageAggregate",
+    "nearest_rank",
+    "format_summary",
+    "TraceSource",
+    "flatten_span_tree",
+    "load_trace_sources",
+    "to_chrome_trace",
+    "export_chrome_trace",
+    "validate_chrome_trace",
+    "LEDGER_SCHEMA_VERSION",
+    "Budget",
+    "StageVerdict",
+    "append_record",
+    "read_ledger",
+    "resolve_snapshot",
+    "snapshot_host",
+    "stamp_snapshot",
+    "snapshot_stage_ms",
+    "diff_snapshots",
+    "format_diff",
+    "load_budgets",
+    "check_snapshot",
+    "format_check",
+    "measure_stage_breakdown",
+    "ScenarioProgress",
+    "collect_progress",
+    "format_progress",
+    "tail",
+]

@@ -1,0 +1,245 @@
+"""Export recorded spans as Chrome ``trace_event`` JSON.
+
+The exporter turns the span artifacts a telemetry-enabled run leaves
+behind — ``trace.json`` trees and/or flattened ``span`` events inside
+``events-*.jsonl`` worker shards — into one Perfetto/``chrome://tracing``
+loadable document: a JSON object whose ``traceEvents`` list holds one
+complete (``"ph": "X"``) event per span plus one ``process_name``
+metadata event per source.
+
+pid/tid mapping: every input *source* (one shard file, one trace tree)
+becomes its own pid, numbered in sorted-label order so the export is a
+pure function of the inputs; all spans of a source share ``tid`` 1
+(workers are single-threaded).  Nesting needs no explicit parent links —
+trace viewers nest complete events on a track by time containment,
+which depth-first flattened spans satisfy by construction.
+
+Everything here only *transforms* recorded timestamps; it never reads
+a clock of its own (rule RB004 enforces that for this whole package).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+__all__ = [
+    "TraceSource",
+    "flatten_span_tree",
+    "load_trace_sources",
+    "to_chrome_trace",
+    "export_chrome_trace",
+    "validate_chrome_trace",
+]
+
+#: Keys every complete ("X") trace event must carry.
+_REQUIRED_X_KEYS = ("name", "ph", "ts", "dur", "pid", "tid")
+
+
+@dataclass
+class TraceSource:
+    """Spans of one process: a worker shard or a ``trace.json`` tree."""
+
+    label: str
+    #: Flat span records: name, start_ms, duration_ms, depth, status.
+    spans: list[dict[str, Any]] = field(default_factory=list)
+    #: Run metadata from the shard's leading ``run`` event, if any.
+    meta: dict[str, Any] = field(default_factory=dict)
+
+
+def flatten_span_tree(
+    span: dict[str, Any], depth: int = 0
+) -> Iterable[dict[str, Any]]:
+    """Flatten one ``trace.json`` span tree into depth-first records."""
+    record: dict[str, Any] = {
+        "name": str(span.get("name", "?")),
+        "start_ms": float(span.get("start_ms", 0.0)),
+        "duration_ms": float(span.get("duration_ms", 0.0)),
+        "depth": depth,
+        "status": str(span.get("status", "ok")),
+    }
+    if span.get("error"):
+        record["error"] = str(span["error"])
+    yield record
+    for child in span.get("children", ()):
+        yield from flatten_span_tree(child, depth + 1)
+
+
+def _source_from_trace_json(path: Path) -> TraceSource:
+    doc = json.loads(path.read_text())
+    source = TraceSource(label=path.name)
+    for root in doc.get("spans", ()):
+        source.spans.extend(flatten_span_tree(root))
+    return source
+
+
+def _source_from_events_jsonl(path: Path) -> TraceSource:
+    source = TraceSource(label=path.name)
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            event = obj.get("event")
+            if event == "run" and isinstance(obj.get("meta"), dict) and not source.meta:
+                source.meta = obj["meta"]
+            elif event == "span":
+                record = {
+                    "name": str(obj.get("name", "?")),
+                    "start_ms": float(obj.get("start_ms", 0.0)),
+                    "duration_ms": float(obj.get("duration_ms", 0.0)),
+                    "depth": int(obj.get("depth", 0)),
+                    "status": str(obj.get("status", "ok")),
+                }
+                for extra in ("error", "scenario", "seed", "trial"):
+                    if extra in obj:
+                        record[extra] = obj[extra]
+                source.spans.append(record)
+    return source
+
+
+def load_trace_sources(inputs: Sequence[str | Path]) -> list[TraceSource]:
+    """Resolve CLI inputs into per-process span sources.
+
+    Each input may be a telemetry directory (its ``trace.json`` plus
+    every ``events-*.jsonl`` shard), a ``.json`` trace tree, or a
+    ``.jsonl`` event shard.  Sources come back sorted by label so pid
+    assignment is stable.  Raises :exc:`FileNotFoundError` for a
+    missing input and :exc:`ValueError` for an unrecognized one.
+    """
+    paths: list[Path] = []
+    for item in inputs:
+        path = Path(item)
+        if not path.exists():
+            raise FileNotFoundError(f"no such trace input: {path}")
+        if path.is_dir():
+            trace_json = path / "trace.json"
+            if trace_json.exists():
+                paths.append(trace_json)
+            paths.extend(sorted(path.glob("events-*.jsonl")))
+        else:
+            paths.append(path)
+
+    sources: list[TraceSource] = []
+    for path in paths:
+        if path.suffix == ".jsonl":
+            source = _source_from_events_jsonl(path)
+        elif path.suffix == ".json":
+            source = _source_from_trace_json(path)
+        else:
+            raise ValueError(f"unrecognized trace input (want .json/.jsonl/dir): {path}")
+        if source.spans:
+            sources.append(source)
+    sources.sort(key=lambda s: s.label)
+    return sources
+
+
+def to_chrome_trace(sources: Sequence[TraceSource]) -> dict[str, Any]:
+    """Build the Chrome ``trace_event`` document for *sources*.
+
+    One pid per source (1-based, in the given order), tid 1 throughout;
+    timestamps convert from milliseconds to the format's microseconds.
+    """
+    events: list[dict[str, Any]] = []
+    for pid, source in enumerate(sources, start=1):
+        name = source.label
+        if source.meta.get("scenario"):
+            name = f"{name} ({source.meta['scenario']})"
+        events.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": 1,
+                "name": "process_name",
+                "args": {"name": name},
+            }
+        )
+        events.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": 1,
+                "name": "process_sort_index",
+                "args": {"sort_index": pid},
+            }
+        )
+        for span in source.spans:
+            args: dict[str, Any] = {
+                key: span[key]
+                for key in ("status", "error", "scenario", "seed", "trial", "depth")
+                if key in span
+            }
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": 1,
+                    "name": span["name"],
+                    "cat": "span",
+                    "ts": round(float(span["start_ms"]) * 1000.0, 1),
+                    "dur": round(float(span["duration_ms"]) * 1000.0, 1),
+                    "args": args,
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def export_chrome_trace(
+    inputs: Sequence[str | Path], out_path: str | Path
+) -> dict[str, Any]:
+    """Load *inputs*, convert, and write the trace JSON to *out_path*.
+
+    Returns the document (callers report event counts from it).
+    """
+    sources = load_trace_sources(inputs)
+    if not sources:
+        raise ValueError(
+            "no spans found in the given inputs (need a trace.json or "
+            "events-*.jsonl with span events)"
+        )
+    doc = to_chrome_trace(sources)
+    out = Path(out_path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(doc, sort_keys=True) + "\n")
+    return doc
+
+
+def validate_chrome_trace(doc: object) -> list[str]:
+    """Shape-check a trace document; returns a list of problems.
+
+    Pins the subset of the ``trace_event`` spec the exporter relies on:
+    a ``traceEvents`` list whose entries are ``X`` (complete) events
+    with name/ts/dur/pid/tid or ``M`` metadata events, with
+    non-negative numeric timestamps.
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"trace document is not an object: {type(doc).__name__}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list 'traceEvents'"]
+    if not events:
+        problems.append("'traceEvents' is empty")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"traceEvents[{i}]: not an object")
+            continue
+        ph = event.get("ph")
+        if ph == "M":
+            if "name" not in event or "pid" not in event:
+                problems.append(f"traceEvents[{i}]: metadata event missing name/pid")
+            continue
+        if ph != "X":
+            problems.append(f"traceEvents[{i}]: unsupported phase {ph!r}")
+            continue
+        for key in _REQUIRED_X_KEYS:
+            if key not in event:
+                problems.append(f"traceEvents[{i}]: missing {key!r}")
+        for key in ("ts", "dur"):
+            value = event.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                problems.append(f"traceEvents[{i}]: {key!r} must be a number >= 0")
+    return problems

@@ -1,0 +1,406 @@
+"""Versioned perf ledger, snapshot diffing, and the budget gate.
+
+Three pieces:
+
+* the **ledger** — an append-only JSONL file of benchmark snapshots
+  (``benchmarks/perf_snapshot.py`` appends one record per run).  Each
+  record is a full snapshot in schema v1: ``schema_version``,
+  ``git_rev``, ``host`` (platform / python / cpu_count),
+  ``decode_stages.stage_ms`` and optional ``stage_percentiles``;
+* ``diff_snapshots`` / ``format_diff`` — per-stage delta between two
+  snapshots (``repro perf diff A B``; ``A``/``B`` are snapshot JSON
+  paths or ``ledger.jsonl@N`` references);
+* ``check_snapshot`` — the regression gate behind ``repro perf
+  check``: compares a current snapshot against a committed baseline
+  under per-stage tolerance budgets (``budgets.toml`` / ``.json``) and
+  reports pass/fail per stage.  The CLI maps the outcome onto the
+  repo's 0 (pass) / 1 (regression) / 2 (usage error) exit contract.
+
+Budgets file shape (TOML shown; the JSON equivalent is the same tree)::
+
+    schema_version = 1
+    [default]
+    ratio = 3.0      # current <= baseline * ratio + slack_ms
+    slack_ms = 10.0
+    [stage.corners]
+    ratio = 2.0      # per-stage overrides; max_ms adds an absolute cap
+
+All timing numbers here are *recorded* — this module never reads a
+clock (rule RB004); fresh measurements come from the decoder's own
+span-derived ``stage_ms``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+__all__ = [
+    "LEDGER_SCHEMA_VERSION",
+    "Budget",
+    "StageVerdict",
+    "append_record",
+    "read_ledger",
+    "resolve_snapshot",
+    "snapshot_host",
+    "stamp_snapshot",
+    "snapshot_stage_ms",
+    "diff_snapshots",
+    "format_diff",
+    "load_budgets",
+    "check_snapshot",
+    "format_check",
+    "measure_stage_breakdown",
+]
+
+#: Ledger / snapshot schema version; bump on breaking field changes.
+LEDGER_SCHEMA_VERSION = 1
+
+#: Pseudo-stage name used for the whole-decode total in budgets/diffs.
+TOTAL_STAGE = "total"
+
+
+def snapshot_host() -> dict[str, Any]:
+    """Host identity recorded in every snapshot (schema v1 ``host``)."""
+    import os
+
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def stamp_snapshot(snapshot: dict[str, Any]) -> dict[str, Any]:
+    """Fill in the schema v1 identity fields; returns the snapshot.
+
+    Sets ``schema_version``, ``git_rev`` (from the telemetry run
+    metadata helper) and ``host`` unless already present.
+    """
+    from ..events import run_metadata
+
+    snapshot.setdefault("schema_version", LEDGER_SCHEMA_VERSION)
+    snapshot.setdefault("git_rev", str(run_metadata().get("git_rev", "")))
+    snapshot.setdefault("host", snapshot_host())
+    return snapshot
+
+
+# -- ledger I/O -------------------------------------------------------------
+
+
+def append_record(path: str | Path, record: Mapping[str, Any]) -> Path:
+    """Append one snapshot record to the JSONL ledger at *path*."""
+    if "schema_version" not in record:
+        raise ValueError("ledger record missing schema_version (run stamp_snapshot)")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return path
+
+
+def read_ledger(path: str | Path) -> list[dict[str, Any]]:
+    """All records of the JSONL ledger, in append order."""
+    records: list[dict[str, Any]] = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not valid JSON ({exc.msg})") from exc
+            if not isinstance(obj, dict):
+                raise ValueError(f"{path}:{lineno}: record is not an object")
+            records.append(obj)
+    return records
+
+
+def resolve_snapshot(spec: str | Path) -> dict[str, Any]:
+    """Load a snapshot from ``path.json`` or a ``ledger.jsonl@N`` reference.
+
+    ``N`` indexes the ledger in append order and may be negative
+    (``@-1`` is the latest record).
+    """
+    spec = str(spec)
+    if "@" in spec and spec.rsplit("@", 1)[1].lstrip("-").isdigit():
+        ledger_path, index_text = spec.rsplit("@", 1)
+        records = read_ledger(ledger_path)
+        index = int(index_text)
+        try:
+            return records[index]
+        except IndexError:
+            raise ValueError(
+                f"{ledger_path} has {len(records)} records; index {index} is out of range"
+            ) from None
+    doc = json.loads(Path(spec).read_text())
+    if not isinstance(doc, dict):
+        raise ValueError(f"{spec}: snapshot is not a JSON object")
+    return doc
+
+
+def snapshot_stage_ms(snapshot: Mapping[str, Any]) -> dict[str, float]:
+    """Per-stage milliseconds of a snapshot, with the ``total`` pseudo-stage."""
+    stages = snapshot.get("decode_stages", {})
+    out = {str(k): float(v) for k, v in stages.get("stage_ms", {}).items()}
+    total = stages.get("total_ms")
+    if total is None and out:
+        total = sum(out.values())
+    if total is not None:
+        out[TOTAL_STAGE] = float(total)
+    return out
+
+
+# -- diff -------------------------------------------------------------------
+
+
+def diff_snapshots(
+    a: Mapping[str, Any], b: Mapping[str, Any]
+) -> dict[str, dict[str, Any]]:
+    """Per-stage delta from snapshot *a* (old) to *b* (new).
+
+    Stages present on only one side carry ``None`` for the missing
+    value (a stage removed by an optimization, or newly added).
+    """
+    old, new = snapshot_stage_ms(a), snapshot_stage_ms(b)
+    out: dict[str, dict[str, Any]] = {}
+    for stage in sorted(set(old) | set(new)):
+        old_ms, new_ms = old.get(stage), new.get(stage)
+        entry: dict[str, Any] = {"old_ms": old_ms, "new_ms": new_ms}
+        if old_ms is not None and new_ms is not None:
+            entry["delta_ms"] = round(new_ms - old_ms, 4)
+            entry["ratio"] = round(new_ms / old_ms, 4) if old_ms > 0 else None
+        out[stage] = entry
+    return out
+
+
+def format_diff(
+    diff: Mapping[str, Mapping[str, Any]],
+    label_a: str = "A",
+    label_b: str = "B",
+) -> str:
+    """Human-readable per-stage diff table."""
+    header = f"{'stage':<16} {label_a:>12} {label_b:>12} {'delta':>10} {'ratio':>7}"
+    lines = [header, "-" * len(header)]
+    for stage, entry in diff.items():
+        old_ms, new_ms = entry["old_ms"], entry["new_ms"]
+        old_text = f"{old_ms:.3f}" if old_ms is not None else "-"
+        new_text = f"{new_ms:.3f}" if new_ms is not None else "-"
+        delta = entry.get("delta_ms")
+        delta_text = f"{delta:+.3f}" if delta is not None else "-"
+        ratio = entry.get("ratio")
+        ratio_text = f"{ratio:.2f}x" if ratio is not None else "-"
+        lines.append(
+            f"{stage:<16} {old_text:>12} {new_text:>12} {delta_text:>10} {ratio_text:>7}"
+        )
+    return "\n".join(lines)
+
+
+# -- budgets ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Tolerance for one stage: relative ratio, slack, optional cap."""
+
+    ratio: float = 3.0
+    slack_ms: float = 10.0
+    max_ms: float | None = None
+
+    def limit_ms(self, baseline_ms: float | None) -> float | None:
+        """Largest acceptable current value, or None when unbounded."""
+        limits: list[float] = []
+        if baseline_ms is not None:
+            limits.append(baseline_ms * self.ratio + self.slack_ms)
+        if self.max_ms is not None:
+            limits.append(self.max_ms)
+        return min(limits) if limits else None
+
+
+def load_budgets(path: str | Path) -> dict[str, Budget]:
+    """Parse a budgets file (``.toml`` or ``.json``) into per-stage budgets.
+
+    Returns a mapping with a ``"default"`` entry (always present) plus
+    one entry per ``[stage.<name>]`` override; overrides inherit the
+    default's unspecified fields.
+    """
+    path = Path(path)
+    if path.suffix == ".toml":
+        try:
+            import tomllib
+        except ImportError as exc:  # Python < 3.11: ship budgets as JSON instead.
+            raise ValueError(
+                f"{path}: TOML budgets need Python 3.11+ (tomllib); "
+                "use a .json budgets file on older interpreters"
+            ) from exc
+        with open(path, "rb") as fh:
+            doc = tomllib.load(fh)
+    elif path.suffix == ".json":
+        doc = json.loads(path.read_text())
+    else:
+        raise ValueError(f"{path}: budgets must be .toml or .json")
+    if not isinstance(doc, dict):
+        raise ValueError(f"{path}: budgets root must be a table/object")
+
+    version = doc.get("schema_version", 1)
+    if version != 1:
+        raise ValueError(f"{path}: unsupported budgets schema_version {version}")
+
+    def build(entry: Mapping[str, Any], base: Budget) -> Budget:
+        unknown = set(entry) - {"ratio", "slack_ms", "max_ms"}
+        if unknown:
+            raise ValueError(f"{path}: unknown budget keys {sorted(unknown)}")
+        return Budget(
+            ratio=float(entry.get("ratio", base.ratio)),
+            slack_ms=float(entry.get("slack_ms", base.slack_ms)),
+            max_ms=(
+                float(entry["max_ms"]) if entry.get("max_ms") is not None else base.max_ms
+            ),
+        )
+
+    default = build(doc.get("default", {}), Budget())
+    budgets = {"default": default}
+    for name, entry in doc.get("stage", {}).items():
+        if not isinstance(entry, Mapping):
+            raise ValueError(f"{path}: [stage.{name}] must be a table/object")
+        budgets[str(name)] = build(entry, default)
+    return budgets
+
+
+# -- the gate ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StageVerdict:
+    """Outcome of one stage's budget comparison."""
+
+    stage: str
+    baseline_ms: float | None
+    current_ms: float | None
+    limit_ms: float | None
+    ok: bool
+    note: str = ""
+
+
+def check_snapshot(
+    current: Mapping[str, Any],
+    baseline: Mapping[str, Any],
+    budgets: Mapping[str, Budget],
+) -> list[StageVerdict]:
+    """Compare *current* against *baseline* under *budgets*.
+
+    One verdict per stage in either snapshot (plus ``total``).  A stage
+    missing from the current snapshot passes with a note (it was
+    optimized away); a new stage is only bounded by its ``max_ms``, if
+    any.  Raises :exc:`ValueError` when the baseline has no stages at
+    all (a malformed baseline must not silently pass the gate).
+    """
+    base_ms = snapshot_stage_ms(baseline)
+    cur_ms = snapshot_stage_ms(current)
+    if not base_ms:
+        raise ValueError("baseline snapshot has no decode_stages.stage_ms")
+    if not cur_ms:
+        raise ValueError("current snapshot has no decode_stages.stage_ms")
+    default = budgets.get("default", Budget())
+
+    verdicts: list[StageVerdict] = []
+    for stage in sorted(set(base_ms) | set(cur_ms)):
+        budget = budgets.get(stage, default)
+        baseline_value = base_ms.get(stage)
+        current_value = cur_ms.get(stage)
+        limit = budget.limit_ms(baseline_value)
+        if current_value is None:
+            verdicts.append(
+                StageVerdict(stage, baseline_value, None, limit, True, "absent in current")
+            )
+            continue
+        if limit is None:
+            verdicts.append(
+                StageVerdict(
+                    stage, None, current_value, None, True, "new stage, no budget cap"
+                )
+            )
+            continue
+        ok = current_value <= limit
+        note = "" if ok else "over budget"
+        if baseline_value is None:
+            note = "new stage vs max_ms cap" + ("" if ok else ", over budget")
+        verdicts.append(
+            StageVerdict(stage, baseline_value, current_value, round(limit, 4), ok, note)
+        )
+    return verdicts
+
+
+def format_check(verdicts: list[StageVerdict]) -> str:
+    """Human-readable verdict table for :func:`check_snapshot`."""
+    header = (
+        f"{'stage':<16} {'baseline':>10} {'current':>10} {'limit':>10} {'verdict':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for v in verdicts:
+        base = f"{v.baseline_ms:.3f}" if v.baseline_ms is not None else "-"
+        cur = f"{v.current_ms:.3f}" if v.current_ms is not None else "-"
+        limit = f"{v.limit_ms:.3f}" if v.limit_ms is not None else "-"
+        verdict = "ok" if v.ok else "FAIL"
+        suffix = f"  ({v.note})" if v.note else ""
+        lines.append(f"{v.stage:<16} {base:>10} {cur:>10} {limit:>10} {verdict:>8}{suffix}")
+    failed = [v.stage for v in verdicts if not v.ok]
+    lines.append("")
+    lines.append(
+        "perf check: PASS" if not failed else f"perf check: FAIL ({', '.join(failed)})"
+    )
+    return "\n".join(lines)
+
+
+# -- fresh measurement ------------------------------------------------------
+
+
+def measure_stage_breakdown(repeats: int = 3, block_px: int = 12) -> dict[str, Any]:
+    """Measure a fresh per-stage decode breakdown (schema v1 snapshot).
+
+    Encodes one frame, passes it through the paper-condition simulated
+    channel, decodes it ``repeats`` times and keeps the fastest run's
+    span-derived ``stage_ms`` — the same shape ``benchmarks/
+    perf_snapshot.py`` records, so ``repro perf check`` can gate a live
+    run against the committed baseline.  All timing comes from the
+    decoder's internal spans; this function reads no clock itself.
+    """
+    # Local imports: this package must stay importable without pulling
+    # the whole pipeline in (and repro.core imports repro.telemetry).
+    import numpy as np
+
+    from ...bench.workloads import layout_for_block_size, paper_link_config
+    from ...channel.link import ScreenCameraLink
+    from ...channel.screen import FrameSchedule
+    from ...core.decoder import FrameDecoder
+    from ...core.encoder import FrameCodecConfig, FrameEncoder
+
+    config = FrameCodecConfig(layout=layout_for_block_size(block_px), display_rate=10)
+    encoder = FrameEncoder(config)
+    payload = (np.arange(config.payload_bytes_per_frame) % 256).astype(np.uint8).tobytes()
+    image = encoder.encode_frame(payload, sequence=0).render()
+    link = ScreenCameraLink(paper_link_config(), rng=np.random.default_rng(3))
+    capture = link.capture_at(FrameSchedule([image], 10), 0.01)
+
+    decoder = FrameDecoder(config)
+    decoder.extract(capture.image)  # warm warp/coordinate caches
+    best: dict[str, float] | None = None
+    for __ in range(max(1, repeats)):
+        extraction = decoder.extract(capture.image)
+        stage_ms = {k: round(v, 3) for k, v in extraction.diagnostics.stage_ms.items()}
+        if best is None or sum(stage_ms.values()) < sum(best.values()):
+            best = stage_ms
+    assert best is not None
+    return stamp_snapshot(
+        {
+            "decode_stages": {
+                "stage_ms": best,
+                "total_ms": round(sum(best.values()), 3),
+            },
+        }
+    )

@@ -1,0 +1,142 @@
+"""Live campaign progress from heartbeat events.
+
+``faults_campaign`` workers emit one ``progress`` event per completed
+trial into their per-process JSONL shard (see
+:mod:`repro.telemetry.events`).  This module folds those heartbeats —
+re-read from disk on every refresh, so it works while the campaign is
+still running — into a per-scenario progress table:
+
+* trials completed / frames delivered so far,
+* failure-stage counts (which decode stage killed the failing trials),
+* the emitting worker shards.
+
+``repro telemetry tail`` renders it once, or repeatedly with
+``--follow``.  The only clock use here is ``time.sleep`` to pace the
+refresh loop — heartbeats are *read*, never timestamped (rule RB004).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Any
+
+__all__ = ["ScenarioProgress", "collect_progress", "format_progress", "tail"]
+
+
+@dataclass
+class ScenarioProgress:
+    """Running totals for one campaign scenario."""
+
+    trials: int = 0
+    delivered: int = 0
+    rounds: int = 0
+    captures_dropped: int = 0
+    #: decode stage -> count of failed frame attempts at that stage.
+    failure_stages: dict[str, int] = field(default_factory=dict)
+    #: shard labels (worker files) that contributed heartbeats.
+    shards: set[str] = field(default_factory=set)
+
+
+def _iter_events(path: Path) -> list[dict[str, Any]]:
+    events: list[dict[str, Any]] = []
+    try:
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError:
+                    # A shard's last line may still be mid-write; skip it.
+                    continue
+                if isinstance(obj, dict):
+                    events.append(obj)
+    except OSError:
+        return []
+    return events
+
+
+def collect_progress(directory: str | Path) -> dict[str, ScenarioProgress]:
+    """Fold every shard's ``progress`` heartbeats, keyed by scenario.
+
+    Scenarios come back sorted; a directory with no shards (or no
+    heartbeats yet) yields an empty mapping rather than an error, so a
+    tail started before the campaign is harmless.
+    """
+    totals: dict[str, ScenarioProgress] = {}
+    for shard in sorted(Path(directory).glob("events-*.jsonl")):
+        for obj in _iter_events(shard):
+            if obj.get("event") != "progress":
+                continue
+            scenario = str(obj.get("scenario", "?"))
+            entry = totals.setdefault(scenario, ScenarioProgress())
+            entry.trials += 1
+            entry.delivered += int(obj.get("delivered", 0))
+            entry.rounds += int(obj.get("rounds", 0))
+            entry.captures_dropped += int(obj.get("captures_dropped", 0))
+            stages = obj.get("failure_stages")
+            if isinstance(stages, dict):
+                for stage, count in stages.items():
+                    key = str(stage)
+                    entry.failure_stages[key] = entry.failure_stages.get(key, 0) + int(count)
+            entry.shards.add(shard.name)
+    return {name: totals[name] for name in sorted(totals)}
+
+
+def format_progress(
+    progress: dict[str, ScenarioProgress], expected_trials: int | None = None
+) -> str:
+    """Render the per-scenario progress table."""
+    if not progress:
+        return "no campaign heartbeats yet (waiting for progress events)"
+    header = f"{'scenario':<22} {'trials':>8} {'delivered':>9} {'dropped':>8}  failure stages"
+    lines = [header, "-" * len(header)]
+    for name, entry in progress.items():
+        trials = str(entry.trials)
+        if expected_trials is not None:
+            trials = f"{entry.trials}/{expected_trials}"
+        stages = ", ".join(
+            f"{stage}={count}" for stage, count in sorted(entry.failure_stages.items())
+        )
+        lines.append(
+            f"{name:<22} {trials:>8} {entry.delivered:>9} "
+            f"{entry.captures_dropped:>8}  {stages or '-'}"
+        )
+    workers = sorted({shard for entry in progress.values() for shard in entry.shards})
+    lines.append(f"workers: {len(workers)} ({', '.join(workers)})")
+    return "\n".join(lines)
+
+
+def tail(
+    directory: str | Path,
+    follow: bool = False,
+    interval: float = 2.0,
+    expected_trials: int | None = None,
+    max_refreshes: int | None = None,
+    out: IO[str] | None = None,
+) -> int:
+    """Print campaign progress once, or keep refreshing with *follow*.
+
+    *max_refreshes* bounds the follow loop (tests and one-shot CI use);
+    interactive follows run until interrupted.  Returns the number of
+    trials observed in the final refresh.
+    """
+    import sys
+
+    stream = out if out is not None else sys.stdout
+    refreshes = 0
+    while True:
+        progress = collect_progress(directory)
+        print(format_progress(progress, expected_trials), file=stream)
+        refreshes += 1
+        if not follow or (max_refreshes is not None and refreshes >= max_refreshes):
+            return sum(entry.trials for entry in progress.values())
+        print("", file=stream)
+        try:
+            time.sleep(max(interval, 0.1))
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            return sum(entry.trials for entry in progress.values())

@@ -301,6 +301,52 @@ def test_rb004_flags_wall_clock_under_telemetry():
     )
 
 
+def test_rb004_flags_monotonic_clock_outside_span_recorder():
+    source = """
+        import time
+
+        def export():
+            return {"now_ms": time.perf_counter() * 1000}
+        """
+    # The exporter/aggregator modules must derive timings from records.
+    violations = check(
+        source, relpath="repro/telemetry/perf/chrome_trace.py", select=["RB004"]
+    )
+    assert rules_of(violations) == ["RB004"]
+    # ...the span recorder itself is the one legitimate reader...
+    assert check(source, relpath="repro/telemetry/trace.py", select=["RB004"]) == []
+    # ...and outside telemetry/ monotonic clocks are fine (bench timing).
+    assert check(source, relpath="repro/bench/fixture.py", select=["RB004"]) == []
+
+
+def test_rb004_monotonic_variants_flagged():
+    violations = check(
+        """
+        import time
+
+        def tick():
+            return time.monotonic(), time.monotonic_ns(), time.perf_counter_ns()
+        """,
+        relpath="repro/telemetry/perf/ledger.py",
+        select=["RB004"],
+    )
+    assert rules_of(violations) == ["RB004"] * 3
+
+
+def test_rb004_time_sleep_is_not_a_clock_read():
+    violations = check(
+        """
+        import time
+
+        def pace(interval):
+            time.sleep(interval)
+        """,
+        relpath="repro/telemetry/perf/tail.py",
+        select=["RB004"],
+    )
+    assert violations == []
+
+
 # -- RB005 ---------------------------------------------------------------
 
 

@@ -1,0 +1,141 @@
+"""Chrome trace-event exporter: shape, pid mapping, input resolution."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry.perf import (
+    export_chrome_trace,
+    flatten_span_tree,
+    load_trace_sources,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+
+TREE = {
+    "name": "decode.extract",
+    "start_ms": 10.0,
+    "duration_ms": 40.0,
+    "status": "ok",
+    "children": [
+        {"name": "corners", "start_ms": 11.0, "duration_ms": 22.0, "status": "ok"},
+        {
+            "name": "locators",
+            "start_ms": 33.5,
+            "duration_ms": 9.0,
+            "status": "ok",
+            "children": [
+                {"name": "locators.walk", "start_ms": 34.0, "duration_ms": 6.0,
+                 "status": "ok"},
+            ],
+        },
+    ],
+}
+
+
+def _write_shard(path, spans, meta=None, scenario=None, seed=None):
+    with open(path, "w") as fh:
+        fh.write(json.dumps({"event": "run", "seq": 0, "meta": meta or {}}) + "\n")
+        for i, span in enumerate(spans, start=1):
+            obj = {"event": "span", "seq": i, **span}
+            if scenario is not None:
+                obj["scenario"] = scenario
+            if seed is not None:
+                obj["seed"] = seed
+            fh.write(json.dumps(obj) + "\n")
+
+
+class TestFlatten:
+    def test_depth_first_with_depths(self):
+        records = list(flatten_span_tree(TREE))
+        assert [(r["name"], r["depth"]) for r in records] == [
+            ("decode.extract", 0),
+            ("corners", 1),
+            ("locators", 1),
+            ("locators.walk", 2),
+        ]
+
+    def test_error_carried_through(self):
+        bad = {"name": "x", "start_ms": 0, "duration_ms": 1, "error": "ValueError"}
+        assert list(flatten_span_tree(bad))[0]["error"] == "ValueError"
+
+
+class TestExport:
+    def test_trace_json_and_shards_become_separate_pids(self, tmp_path):
+        tel = tmp_path / "telemetry"
+        tel.mkdir()
+        (tel / "trace.json").write_text(json.dumps({"trace": "run", "spans": [TREE]}))
+        _write_shard(tel / "events-101.jsonl",
+                     list(flatten_span_tree(TREE)), scenario="glare", seed=3,
+                     meta={"scenario": "glare"})
+        _write_shard(tel / "events-102.jsonl", list(flatten_span_tree(TREE)))
+
+        out = tmp_path / "chrome.json"
+        doc = export_chrome_trace([tel], out)
+        assert validate_chrome_trace(doc) == []
+        assert validate_chrome_trace(json.loads(out.read_text())) == []
+
+        events = doc["traceEvents"]
+        pids = {e["pid"] for e in events}
+        assert pids == {1, 2, 3}  # 2 shards + trace.json, one track each
+        # Every pid announces a process_name metadata event.
+        named = {e["pid"] for e in events if e["ph"] == "M" and e["name"] == "process_name"}
+        assert named == pids
+        # Shard meta scenario decorates the track name.
+        names = [e["args"]["name"] for e in events
+                 if e["ph"] == "M" and e["name"] == "process_name"]
+        assert any("(glare)" in n for n in names)
+
+    def test_timestamps_are_microseconds(self, tmp_path):
+        (tmp_path / "trace.json").write_text(json.dumps({"spans": [TREE]}))
+        doc = to_chrome_trace(load_trace_sources([tmp_path / "trace.json"]))
+        root = next(e for e in doc["traceEvents"]
+                    if e["ph"] == "X" and e["name"] == "decode.extract")
+        assert root["ts"] == pytest.approx(10_000.0)
+        assert root["dur"] == pytest.approx(40_000.0)
+
+    def test_nesting_by_time_containment(self, tmp_path):
+        (tmp_path / "trace.json").write_text(json.dumps({"spans": [TREE]}))
+        doc = to_chrome_trace(load_trace_sources([tmp_path / "trace.json"]))
+        xs = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+        parent, child = xs["decode.extract"], xs["locators"]
+        assert parent["ts"] <= child["ts"]
+        assert child["ts"] + child["dur"] <= parent["ts"] + parent["dur"]
+
+    def test_span_events_carry_trial_identity_in_args(self, tmp_path):
+        shard = tmp_path / "events-7.jsonl"
+        _write_shard(shard, list(flatten_span_tree(TREE)), scenario="glare", seed=5)
+        doc = to_chrome_trace(load_trace_sources([shard]))
+        x = next(e for e in doc["traceEvents"] if e["ph"] == "X")
+        assert x["args"]["scenario"] == "glare"
+        assert x["args"]["seed"] == 5
+
+    def test_missing_input_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_trace_sources([tmp_path / "nope.jsonl"])
+
+    def test_unrecognized_suffix_raises(self, tmp_path):
+        bad = tmp_path / "trace.txt"
+        bad.write_text("hi")
+        with pytest.raises(ValueError, match="unrecognized"):
+            load_trace_sources([bad])
+
+    def test_no_spans_raises(self, tmp_path):
+        empty = tmp_path / "trace.json"
+        empty.write_text(json.dumps({"spans": []}))
+        with pytest.raises(ValueError, match="no spans"):
+            export_chrome_trace([empty], tmp_path / "out.json")
+
+
+class TestValidate:
+    def test_rejects_malformed_documents(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({}) != []
+        assert validate_chrome_trace({"traceEvents": [{"ph": "X"}]}) != []
+        assert validate_chrome_trace(
+            {"traceEvents": [{"ph": "X", "name": "a", "ts": -1, "dur": 1,
+                              "pid": 1, "tid": 1}]}
+        ) != []
+        assert validate_chrome_trace({"traceEvents": [{"ph": "B", "name": "a"}]}) != []

@@ -1,0 +1,198 @@
+"""Perf ledger: schema stamping, @N resolution, budgets, the gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.telemetry.perf import (
+    LEDGER_SCHEMA_VERSION,
+    Budget,
+    append_record,
+    check_snapshot,
+    diff_snapshots,
+    format_check,
+    format_diff,
+    load_budgets,
+    read_ledger,
+    resolve_snapshot,
+    stamp_snapshot,
+)
+
+
+def _snapshot(stage_ms: dict[str, float]) -> dict:
+    return stamp_snapshot(
+        {"decode_stages": {"stage_ms": dict(stage_ms),
+                           "total_ms": round(sum(stage_ms.values()), 3)}}
+    )
+
+
+BASELINE = _snapshot({"corners": 20.0, "locators": 9.0, "classify": 2.0})
+
+BUDGETS_TOML = """
+schema_version = 1
+[default]
+ratio = 2.0
+slack_ms = 1.0
+[stage.corners]
+ratio = 1.5
+max_ms = 100.0
+"""
+
+
+class TestLedger:
+    def test_stamp_fills_identity_fields(self):
+        snap = _snapshot({"corners": 1.0})
+        assert snap["schema_version"] == LEDGER_SCHEMA_VERSION
+        assert "git_rev" in snap
+        assert snap["host"]["cpu_count"] >= 1
+        assert snap["host"]["python"]
+
+    def test_append_then_resolve_by_index(self, tmp_path):
+        ledger = tmp_path / "perf_ledger.jsonl"
+        for ms in (10.0, 20.0, 30.0):
+            append_record(ledger, _snapshot({"corners": ms}))
+        assert len(read_ledger(ledger)) == 3
+        assert resolve_snapshot(f"{ledger}@0")["decode_stages"]["stage_ms"]["corners"] == 10.0
+        assert resolve_snapshot(f"{ledger}@-1")["decode_stages"]["stage_ms"]["corners"] == 30.0
+        with pytest.raises(ValueError, match="out of range"):
+            resolve_snapshot(f"{ledger}@7")
+
+    def test_append_refuses_unstamped_records(self, tmp_path):
+        with pytest.raises(ValueError, match="schema_version"):
+            append_record(tmp_path / "l.jsonl", {"decode_stages": {}})
+
+    def test_resolve_plain_json_path(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps(BASELINE))
+        assert resolve_snapshot(path) == BASELINE
+
+
+class TestDiff:
+    def test_deltas_and_one_sided_stages(self):
+        new = _snapshot({"corners": 10.0, "classify": 2.0, "diagnostics": 6.0})
+        diff = diff_snapshots(BASELINE, new)
+        assert diff["corners"]["delta_ms"] == pytest.approx(-10.0)
+        assert diff["corners"]["ratio"] == pytest.approx(0.5)
+        assert diff["locators"]["new_ms"] is None  # removed stage
+        assert diff["diagnostics"]["old_ms"] is None  # added stage
+        text = format_diff(diff, "old", "new")
+        assert "corners" in text and "total" in text
+
+
+class TestBudgets:
+    def test_toml_and_json_load_identically(self, tmp_path):
+        toml_path = tmp_path / "budgets.toml"
+        toml_path.write_text(BUDGETS_TOML)
+        json_path = tmp_path / "budgets.json"
+        json_path.write_text(json.dumps({
+            "schema_version": 1,
+            "default": {"ratio": 2.0, "slack_ms": 1.0},
+            "stage": {"corners": {"ratio": 1.5, "max_ms": 100.0}},
+        }))
+        assert load_budgets(toml_path) == load_budgets(json_path)
+        budgets = load_budgets(toml_path)
+        # Overrides inherit the default's unspecified fields.
+        assert budgets["corners"] == Budget(ratio=1.5, slack_ms=1.0, max_ms=100.0)
+
+    def test_unknown_keys_and_versions_rejected(self, tmp_path):
+        path = tmp_path / "budgets.json"
+        path.write_text(json.dumps({"default": {"ratioo": 2.0}}))
+        with pytest.raises(ValueError, match="unknown budget keys"):
+            load_budgets(path)
+        path.write_text(json.dumps({"schema_version": 99}))
+        with pytest.raises(ValueError, match="schema_version"):
+            load_budgets(path)
+        with pytest.raises(ValueError, match=r"\.toml or \.json"):
+            load_budgets(tmp_path / "budgets.yaml")
+
+    def test_limit_semantics(self):
+        budget = Budget(ratio=2.0, slack_ms=1.0, max_ms=30.0)
+        assert budget.limit_ms(10.0) == pytest.approx(21.0)
+        assert budget.limit_ms(40.0) == pytest.approx(30.0)  # capped
+        assert Budget().limit_ms(None) is None
+
+
+class TestCheck:
+    BUDGETS = {"default": Budget(ratio=2.0, slack_ms=1.0)}
+
+    def test_within_budget_passes(self):
+        current = _snapshot({"corners": 25.0, "locators": 9.5, "classify": 2.0})
+        verdicts = check_snapshot(current, BASELINE, self.BUDGETS)
+        assert all(v.ok for v in verdicts)
+        assert "PASS" in format_check(verdicts)
+
+    def test_regression_fails_the_offending_stage(self):
+        current = _snapshot({"corners": 60.0, "locators": 9.0, "classify": 2.0})
+        verdicts = check_snapshot(current, BASELINE, self.BUDGETS)
+        bad = {v.stage for v in verdicts if not v.ok}
+        assert "corners" in bad
+        assert "FAIL" in format_check(verdicts)
+
+    def test_stage_absent_in_current_passes(self):
+        current = _snapshot({"corners": 20.0, "classify": 2.0})
+        verdicts = {v.stage: v for v in check_snapshot(current, BASELINE, self.BUDGETS)}
+        assert verdicts["locators"].ok and verdicts["locators"].note
+
+    def test_new_stage_unbounded_without_cap_bounded_with(self):
+        current = _snapshot(
+            {"corners": 20.0, "locators": 9.0, "classify": 2.0, "diagnostics": 500.0}
+        )
+        verdicts = {v.stage: v for v in check_snapshot(current, BASELINE, self.BUDGETS)}
+        assert verdicts["diagnostics"].ok  # no budget cap for a new stage
+        capped = dict(self.BUDGETS, diagnostics=Budget(max_ms=100.0))
+        verdicts = {v.stage: v for v in check_snapshot(current, BASELINE, capped)}
+        assert not verdicts["diagnostics"].ok
+
+    def test_empty_baseline_is_an_error(self):
+        with pytest.raises(ValueError, match="baseline"):
+            check_snapshot(BASELINE, {"decode_stages": {"stage_ms": {}}}, self.BUDGETS)
+
+
+class TestCliExitCodes:
+    """`repro perf check` mirrors the analyze 0/1/2 exit contract."""
+
+    def _write(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(BASELINE))
+        budgets = tmp_path / "budgets.toml"
+        budgets.write_text(BUDGETS_TOML)
+        return baseline, budgets
+
+    def test_pass_exits_0(self, tmp_path, capsys):
+        baseline, budgets = self._write(tmp_path)
+        current = tmp_path / "current.json"
+        current.write_text(json.dumps(_snapshot(
+            {"corners": 22.0, "locators": 9.0, "classify": 2.0})))
+        code = main(["perf", "check", "--baseline", str(baseline),
+                     "--budget", str(budgets), "--current", str(current)])
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_regression_exits_1(self, tmp_path, capsys):
+        baseline, budgets = self._write(tmp_path)
+        current = tmp_path / "current.json"
+        current.write_text(json.dumps(_snapshot(
+            {"corners": 90.0, "locators": 9.0, "classify": 2.0})))
+        code = main(["perf", "check", "--baseline", str(baseline),
+                     "--budget", str(budgets), "--current", str(current)])
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_usage_error_exits_2(self, tmp_path, capsys):
+        baseline, budgets = self._write(tmp_path)
+        code = main(["perf", "check", "--baseline", str(tmp_path / "missing.json"),
+                     "--budget", str(budgets),
+                     "--current", str(baseline)])
+        assert code == 2
+        assert "perf check:" in capsys.readouterr().err
+
+    def test_diff_cli(self, tmp_path, capsys):
+        ledger = tmp_path / "ledger.jsonl"
+        append_record(ledger, _snapshot({"corners": 20.0}))
+        append_record(ledger, _snapshot({"corners": 10.0}))
+        code = main(["perf", "diff", f"{ledger}@0", f"{ledger}@-1"])
+        assert code == 0
+        assert "0.50x" in capsys.readouterr().out
