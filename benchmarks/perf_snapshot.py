@@ -18,9 +18,13 @@ Each run also appends the snapshot to the append-only JSONL perf ledger
 ledger.jsonl@-1`` can compare any two recorded runs and ``repro perf
 check`` can gate against any of them.
 
-Worker speedups depend on the host core count (recorded in the
-snapshot); on a single-core container the 4-worker numbers show process
-overhead rather than speedup, which is still worth recording honestly.
+Worker speedups depend on the host core count (recorded per entry as
+``host_cpus`` next to ``expected_ceiling``); parallel runs go through
+the persistent shared-memory decode service (:mod:`repro.serve`), which
+caps worker *processes* at the available cores — on a single-core
+container the 4-worker numbers therefore measure the service's
+overhead floor (~1.0x) rather than speedup, and `repro perf check`
+holds them to the host-aware floor budget, not the multi-core one.
 
 Run from the repo root::
 
@@ -51,6 +55,7 @@ from repro.bench import paper_link_config, run_rainbar_trial  # noqa: E402
 from repro.channel import FrameSchedule, ScreenCameraLink  # noqa: E402
 from repro.core.decoder import FrameDecoder  # noqa: E402
 from repro.core.encoder import FrameEncoder  # noqa: E402
+from repro.serve import available_cpus, close_shared_pools, effective_processes  # noqa: E402
 from repro.telemetry.perf import StageAggregate, append_record, stamp_snapshot  # noqa: E402
 
 
@@ -61,6 +66,42 @@ def _best_of(n, fn):
         fn()
         best = min(best, time.perf_counter() - t0)
     return best
+
+
+def _best_of_pair(n, fn_a, fn_b):
+    """Interleaved A/B timing: ``(best_a, best_b, a_over_b)``.
+
+    Shared/burstable hosts drift by double-digit percentages over a few
+    seconds (CPU-quota throttling), so timing all of A then all of B —
+    or even comparing two independent best-ofs — lets one side sample a
+    slow period and skews the ratio.  Each round here times A and B
+    back to back (order alternating per round, so neither side always
+    runs first into a fresh quota), and the reported ratio is the
+    *median of per-round ratios*: adjacent measurements see the same
+    load, and the median discards rounds where throttling flipped
+    mid-pair.  ``best_a``/``best_b`` are informational best-ofs.
+    """
+    best_a = best_b = float("inf")
+    ratios = []
+    for i in range(max(n, 1)):
+        first, second = (fn_a, fn_b) if i % 2 == 0 else (fn_b, fn_a)
+        t0 = time.perf_counter()
+        first()
+        t_first = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        second()
+        t_second = time.perf_counter() - t0
+        a, b = (t_first, t_second) if i % 2 == 0 else (t_second, t_first)
+        best_a = min(best_a, a)
+        best_b = min(best_b, b)
+        ratios.append(a / max(b, 1e-9))
+    ratios.sort()
+    mid = len(ratios) // 2
+    if len(ratios) % 2:
+        ratio = ratios[mid]
+    else:
+        ratio = 0.5 * (ratios[mid - 1] + ratios[mid])
+    return best_a, best_b, ratio
 
 
 def stage_breakdown(repeats: int = 3) -> tuple[dict, dict]:
@@ -117,30 +158,57 @@ def single_worker_trial(num_frames: int, repeats: int) -> dict:
     }
 
 
-def sweep_comparison(seeds: list[int], num_frames: int) -> dict:
-    """One sweep point at 1 vs 4 workers; pooled counters must agree."""
+def sweep_comparison(seeds: list[int], num_frames: int, repeats: int = 1) -> dict:
+    """One sweep point at 1 vs 4 requested workers; counters must agree.
+
+    The 4-worker run goes through the persistent shared pool
+    (:mod:`repro.serve`); a tiny warm call first spins the workers up
+    so the timed region measures the steady-state service, not a
+    one-time fork.  Both sides are interleaved best-of *repeats*
+    (see :func:`_best_of_pair`).  ``processes`` records how many
+    worker processes the engine actually fans over (capped at the
+    host's cores; at one effective process it runs serially
+    in-process), and ``expected_ceiling`` the best speedup this host
+    could reach.
+    """
+    host_cpus = available_cpus()
     kwargs = dict(num_frames=num_frames, view_angle_deg=15.0)
 
-    t0 = time.perf_counter()
+    rainbar_point(seeds[:1], workers=1, **kwargs)  # warm caches
+    rainbar_point(seeds[:2], workers=4, **kwargs)  # spin up + warm the pool
+    serial_s, fanned_s, speedup = _best_of_pair(
+        repeats,
+        lambda: rainbar_point(seeds, workers=1, **kwargs),
+        lambda: rainbar_point(seeds, workers=4, **kwargs),
+    )
+
     serial = rainbar_point(seeds, workers=1, **kwargs)
-    serial_s = time.perf_counter() - t0
-
-    t0 = time.perf_counter()
     fanned = rainbar_point(seeds, workers=4, **kwargs)
-    fanned_s = time.perf_counter() - t0
-
     return {
         "seeds": len(seeds),
         "num_frames": num_frames,
+        "workers": 4,
+        "host_cpus": host_cpus,
+        "processes": effective_processes(4),
+        "expected_ceiling": float(min(4, host_cpus)),
         "serial_s": round(serial_s, 3),
         "workers4_s": round(fanned_s, 3),
-        "speedup": round(serial_s / max(fanned_s, 1e-9), 2),
+        "speedup": round(speedup, 2),
         "bit_identical": dataclasses.asdict(serial) == dataclasses.asdict(fanned),
     }
 
 
-def decode_stream_comparison(num_captures: int) -> dict:
-    """decode_stream over one capture burst at 1 vs 4 workers."""
+def decode_stream_comparison(num_captures: int, repeats: int = 1) -> dict:
+    """decode_stream over one capture burst at 1 vs 4 requested workers.
+
+    With more than one effective process, frames travel through the
+    shared-memory ring of the persistent decode service (warmed first:
+    persistent-service steady state); at one effective process the
+    dispatcher decodes serially in-process.  Both sides are interleaved
+    best-of *repeats* (see :func:`_best_of_pair`).  ``bit_identical``
+    asserts the fanned results match the serial ones field for field.
+    """
+    host_cpus = available_cpus()
     config = rainbar_config(display_rate=10)
     encoder = FrameEncoder(config)
     payload = (np.arange(config.payload_bytes_per_frame) % 256).astype(np.uint8).tobytes()
@@ -149,15 +217,30 @@ def decode_stream_comparison(num_captures: int) -> dict:
     captures = link.capture_stream(FrameSchedule(images, 10))
 
     decoder = FrameDecoder(config)
-    decoder.decode_stream(captures, workers=1)  # warm
+    decoder.decode_stream(captures, workers=1)  # warm caches
+    decoder.decode_stream(captures[:2], workers=4)  # spin up + warm the pool
 
-    serial_s = _best_of(1, lambda: decoder.decode_stream(captures, workers=1))
-    fanned_s = _best_of(1, lambda: decoder.decode_stream(captures, workers=4))
+    serial_s, fanned_s, speedup = _best_of_pair(
+        repeats,
+        lambda: decoder.decode_stream(captures, workers=1),
+        lambda: decoder.decode_stream(captures, workers=4),
+    )
+
+    def _as_comparable(results):
+        return [None if r is None else dataclasses.asdict(r) for r in results]
+
+    serial = decoder.decode_stream(captures, workers=1)
+    fanned = decoder.decode_stream(captures, workers=4)
     return {
         "captures": len(captures),
+        "workers": 4,
+        "host_cpus": host_cpus,
+        "processes": effective_processes(4),
+        "expected_ceiling": float(min(4, host_cpus)),
         "workers1_s": round(serial_s, 3),
         "workers4_s": round(fanned_s, 3),
-        "speedup": round(serial_s / max(fanned_s, 1e-9), 2),
+        "speedup": round(speedup, 2),
+        "bit_identical": _as_comparable(serial) == _as_comparable(fanned),
     }
 
 
@@ -214,6 +297,13 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--no-ledger", action="store_true", help="skip the ledger append"
     )
+    parser.add_argument(
+        "--no-scaling",
+        action="store_true",
+        help="skip the 1-vs-4-worker comparisons (reduced CI runs: a "
+        "2-seed sweep cannot show real scaling, and `repro perf check` "
+        "then gates the committed baseline's scaling evidence instead)",
+    )
     args = parser.parse_args(argv)
 
     decode_stages, stage_percentiles = stage_breakdown(args.repeats)
@@ -226,9 +316,14 @@ def main(argv=None) -> int:
         "decode_stages": decode_stages,
         "stage_percentiles": stage_percentiles,
         "single_worker_trial": single_worker_trial(args.frames, args.repeats),
-        "sweep_1_vs_4_workers": sweep_comparison(list(range(1, args.seeds + 1)), args.frames),
-        "decode_stream_1_vs_4_workers": decode_stream_comparison(4),
     }
+    if not args.no_scaling:
+        snapshot["sweep_1_vs_4_workers"] = sweep_comparison(
+            list(range(1, args.seeds + 1)), args.frames, args.repeats
+        )
+        snapshot["decode_stream_1_vs_4_workers"] = decode_stream_comparison(
+            12, args.repeats
+        )
     stamp_snapshot(snapshot)
     if args.compare_root is not None:
         base_ms = baseline_trial_ms(args.compare_root, args.frames, args.repeats)
@@ -245,6 +340,7 @@ def main(argv=None) -> int:
     if not args.no_ledger:
         append_record(args.ledger, snapshot)
         print(f"appended to {args.ledger}")
+    close_shared_pools()
     return 0
 
 

@@ -253,15 +253,25 @@ def run_campaign(
     workers: int | None = None,
     num_frames: int = 2,
     max_rounds: int = 3,
+    chunksize: int | None = None,
 ) -> list[FaultTrialResult]:
-    """Run the (scenario x seed) matrix; results in job order."""
+    """Run the (scenario x seed) matrix; results in job order.
+
+    Jobs fan across the persistent shared worker pool
+    (:func:`repro.serve.shared_pool` via ``run_trials_parallel``), so
+    back-to-back campaigns in one process reuse warm workers;
+    *chunksize* groups consecutive (scenario, seed) jobs per IPC
+    message without changing result order.
+    """
     scenarios = list(scenarios) if scenarios else scenario_names()
     jobs = [
         {"scenario": name, "seed": seed, "num_frames": num_frames, "max_rounds": max_rounds}
         for name in scenarios
         for seed in range(seeds)
     ]
-    return run_trials_parallel(run_fault_trial, jobs, workers=workers)
+    return run_trials_parallel(
+        run_fault_trial, jobs, workers=workers, chunksize=chunksize
+    )
 
 
 def summarize(trials: list[FaultTrialResult]) -> list[ScenarioSummary]:

@@ -3,17 +3,26 @@
 The paper's own receiver is compute-bound: Section IV-D reports decode
 time per frame for 1 vs 4 threads on the Galaxy S4.  Our benchmark
 suite has the same shape — every sweep point repeats the same trial
-over independent seeds — so the engine here fans those trials across a
-:class:`~concurrent.futures.ProcessPoolExecutor`:
+over independent seeds — so the engine here fans those trials across
+worker processes:
 
 * **Determinism**: each job carries its own seed and RNG; jobs never
   share state, and results return in job order, so pooling them with
   :func:`repro.bench.runner.average_trials` is bit-identical to running
   the same jobs serially.
 * **Worker resolution**: an explicit ``workers`` argument wins, then
-  the ``REPRO_WORKERS`` environment variable, then ``os.cpu_count()``.
+  the ``REPRO_WORKERS`` environment variable, then the available cores
+  (env/default values are clamped to the cores this process may
+  actually schedule on — see :func:`repro.serve.resolve_workers`).
   ``workers <= 1`` (or a single job) falls back to plain in-process
   execution with no pool, no pickling, no subprocesses.
+* **Backend**: by default jobs run on the process-wide persistent
+  :func:`repro.serve.shared_pool` — spawned once, reused by every
+  batch, which is what fixed the old engine's negative scaling (4
+  workers at 0.38x serial when every call re-paid spawn + pickling).
+  Set ``REPRO_POOL_BACKEND=executor`` (or ``backend="executor"``) to
+  fall back to the legacy ProcessPoolExecutor-per-call path; that path
+  now chunks jobs (``chunksize``) so small jobs amortize IPC too.
 
 The job functions (``run_rainbar_trial`` etc.) and their kwargs must be
 picklable — true for every config dataclass in this repo.
@@ -25,31 +34,33 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
+from ..serve.pool import (
+    BACKEND_ENV,
+    WORKERS_ENV,
+    default_chunksize,
+    effective_processes,
+    resolve_workers,
+    shared_pool,
+)
+
 if TYPE_CHECKING:
     from .runner import TrialResult
 
-__all__ = ["resolve_workers", "run_trials_parallel", "sweep"]
+__all__ = [
+    "WORKERS_ENV",
+    "BACKEND_ENV",
+    "resolve_workers",
+    "run_trials_parallel",
+    "sweep",
+]
 
-#: Environment variable read when ``workers`` is not given explicitly.
-WORKERS_ENV = "REPRO_WORKERS"
 
-
-def resolve_workers(workers: int | None = None) -> int:
-    """Number of worker processes to use.
-
-    Priority: explicit argument > ``REPRO_WORKERS`` env var >
-    ``os.cpu_count()``.  Always at least 1 (serial).
-    """
-    if workers is None:
-        env = os.environ.get(WORKERS_ENV, "").strip()
-        if env:
-            try:
-                workers = int(env)
-            except ValueError as exc:
-                raise ValueError(f"{WORKERS_ENV} must be an integer, got {env!r}") from exc
-        else:
-            workers = os.cpu_count() or 1
-    return max(1, int(workers))
+def _resolve_backend(backend: str | None) -> str:
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV, "").strip().lower() or "pool"
+    if backend not in ("pool", "executor"):
+        raise ValueError(f"unknown parallel backend {backend!r} (want pool|executor)")
+    return backend
 
 
 def _call_job(job: tuple[Callable[..., Any], dict]) -> Any:
@@ -57,25 +68,54 @@ def _call_job(job: tuple[Callable[..., Any], dict]) -> Any:
     return fn(**kwargs)
 
 
+def _call_chunk(chunk: Sequence[tuple[Callable[..., Any], dict]]) -> list[Any]:
+    return [_call_job(job) for job in chunk]
+
+
 def run_trials_parallel(
     trial_fn: Callable[..., "TrialResult"],
     jobs: Sequence[dict],
     *,
     workers: int | None = None,
+    chunksize: int | None = None,
+    backend: str | None = None,
 ) -> list["TrialResult"]:
     """Run ``trial_fn(**kwargs)`` for every kwargs dict in *jobs*.
 
     Results come back in job order regardless of completion order, so
     ``average_trials(run_trials_parallel(...))`` pools exactly the same
     counters as the serial loop it replaces.  With ``workers <= 1`` (or
-    one job) no pool is created at all.
+    one job) no pool is touched at all.  ``chunksize`` groups
+    consecutive jobs into one IPC message (default: ~4 chunks per
+    worker); grouping is by contiguous runs, so result order is
+    unchanged.
     """
     job_list = [(trial_fn, dict(kwargs)) for kwargs in jobs]
     workers = resolve_workers(workers)
     if workers <= 1 or len(job_list) <= 1:
         return [_call_job(job) for job in job_list]
-    with ProcessPoolExecutor(max_workers=min(workers, len(job_list))) as pool:
-        return list(pool.map(_call_job, job_list))
+    if chunksize is None:
+        chunksize = default_chunksize(len(job_list), workers)
+    if _resolve_backend(backend) == "pool":
+        if effective_processes(workers) <= 1:
+            # A pool capped to one process is IPC with no parallelism;
+            # run in-process instead (bit-identical — jobs carry seeds).
+            return [_call_job(job) for job in job_list]
+        pool = shared_pool(workers)
+        return pool.map_ordered(
+            trial_fn, [kwargs for _, kwargs in job_list], chunksize=chunksize
+        )
+    # Legacy fallback: a fresh executor per call.  Kept for A/B runs and
+    # as an escape hatch; chunked so it at least amortizes pickling.
+    chunks = [
+        job_list[start : start + chunksize]
+        for start in range(0, len(job_list), chunksize)
+    ]
+    with ProcessPoolExecutor(max_workers=min(workers, len(chunks))) as executor:
+        out: list["TrialResult"] = []
+        for chunk_result in executor.map(_call_chunk, chunks):
+            out.extend(chunk_result)
+        return out
 
 
 def sweep(
@@ -83,6 +123,8 @@ def sweep(
     points: Iterable[Sequence[dict]],
     *,
     workers: int | None = None,
+    chunksize: int | None = None,
+    backend: str | None = None,
 ) -> list["TrialResult"]:
     """Run a whole sweep — many conditions x many seeds — on one pool.
 
@@ -96,7 +138,9 @@ def sweep(
 
     point_jobs = [list(jobs) for jobs in points]
     flat = [job for jobs in point_jobs for job in jobs]
-    results = run_trials_parallel(trial_fn, flat, workers=workers)
+    results = run_trials_parallel(
+        trial_fn, flat, workers=workers, chunksize=chunksize, backend=backend
+    )
     pooled: list["TrialResult"] = []
     cursor = 0
     for jobs in point_jobs:

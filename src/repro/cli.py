@@ -541,11 +541,14 @@ def _cmd_telemetry_report(args: argparse.Namespace) -> int:
 
 def _cmd_perf(args: argparse.Namespace) -> int:
     from .telemetry.perf import (
+        check_scaling,
         check_snapshot,
         diff_snapshots,
         format_check,
         format_diff,
+        format_scaling,
         load_budgets,
+        load_scaling_budgets,
         measure_stage_breakdown,
         resolve_snapshot,
     )
@@ -563,16 +566,27 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     try:
         baseline = resolve_snapshot(args.baseline)
         budgets = load_budgets(args.budget)
+        scaling_budgets = load_scaling_budgets(args.budget)
         if args.current is not None:
             current = resolve_snapshot(args.current)
         else:
             current = measure_stage_breakdown(repeats=args.repeats)
         verdicts = check_snapshot(current, baseline, budgets)
+        # The scaling gate is host-aware: entries record the cpu count
+        # they were measured with, and a host with fewer cores than
+        # workers is held only to the no-regression floor.  A live
+        # check carries no scaling entries, so the committed baseline's
+        # evidence is gated instead.
+        scaling_verdicts = check_scaling(current, scaling_budgets, fallback=baseline)
     except (OSError, ValueError) as exc:
         print(f"perf check: {exc}", file=sys.stderr)
         return 2
     print(format_check(verdicts))
-    return 0 if all(v.ok for v in verdicts) else 1
+    if scaling_verdicts:
+        print()
+        print(format_scaling(scaling_verdicts))
+    ok = all(v.ok for v in verdicts) and all(v.ok for v in scaling_verdicts)
+    return 0 if ok else 1
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:

@@ -660,7 +660,12 @@ class FrameDecoder:
     # -- batch decoding ----------------------------------------------------
 
     def decode_stream(
-        self, captures: Iterable[Any], workers: int | None = None
+        self,
+        captures: Iterable[Any],
+        workers: int | None = None,
+        *,
+        chunksize: int | None = None,
+        service: Any = None,
     ) -> list[FrameResult | None]:
         """Decode a batch of captures, optionally fanning across processes.
 
@@ -668,22 +673,34 @@ class FrameDecoder:
         ``image`` attribute, e.g. :class:`repro.channel.link.Capture`).
         Entries whose capture is undecodable (:exc:`DecodeError`) come
         back as ``None``; order matches the input.  ``workers`` follows
-        the ``REPRO_WORKERS`` convention of
-        :mod:`repro.bench.parallel` — ``None`` reads the environment,
-        ``1`` decodes serially in-process, and ``N > 1`` fans captures
-        over a process pool, the paper's 1-vs-4-threads comparison
-        (Section IV-D).
+        the ``REPRO_WORKERS`` convention of :mod:`repro.serve` —
+        ``None`` reads the environment, ``1`` decodes serially
+        in-process, and ``N > 1`` fans captures over the process-wide
+        persistent :func:`repro.serve.shared_pool` (frames travel via
+        shared memory), the paper's 1-vs-4-threads comparison (Section
+        IV-D).  When the pool would cap to a single process (1-core
+        host without ``REPRO_POOL_OVERSUBSCRIBE``) the stream decodes
+        serially too — one process buys no parallelism, only the
+        frame-copy tax.  ``chunksize`` sets frames-per-job; pass an
+        existing :class:`repro.serve.DecodeService` as *service* to
+        reuse its pool (its decoder is ignored — ``self`` decodes).
         """
-        from ..bench.parallel import resolve_workers
+        from ..serve import (
+            DecodeService,
+            effective_processes,
+            resolve_workers,
+            shared_pool,
+        )
 
         images = [getattr(c, "image", c) for c in captures]
+        if service is not None:
+            own = DecodeService(self, pool=service.pool, chunksize=chunksize)
+            return own.map_ordered(images, chunksize=chunksize)
         workers = resolve_workers(workers)
-        if workers <= 1 or len(images) <= 1:
+        if workers <= 1 or len(images) <= 1 or effective_processes(workers) <= 1:
             return [_decode_one_or_none(self, image) for image in images]
-        from concurrent.futures import ProcessPoolExecutor
-
-        with ProcessPoolExecutor(max_workers=min(workers, len(images))) as pool:
-            return list(pool.map(_decode_one_or_none, [self] * len(images), images))
+        pooled = DecodeService(self, pool=shared_pool(workers))
+        return pooled.map_ordered(images, chunksize=chunksize)
 
 
 def _assign_rows(

@@ -1,0 +1,60 @@
+"""Persistent decode service: long-lived workers, shared-memory frames.
+
+This subpackage is the fix for the parallel engine's negative scaling
+(``BENCH_decode.json`` pre-service: 4 workers at 0.38x of serial).  It
+replaces the ProcessPoolExecutor-per-call pattern with:
+
+* :class:`WorkerPool` — workers spawned once (fork: warm caches), jobs
+  over a bounded queue with back-pressure, results re-ordered to
+  submission order (bit-identical to serial), processes capped at the
+  host's schedulable cores unless explicitly oversubscribed;
+* :mod:`~repro.serve.shm` — frames travel through generation-stamped
+  shared-memory ring slots, zero-copy on the worker side;
+* :class:`DecodeService` — batched/async decode API
+  (``submit -> Future``, ``map_ordered``, context-manager lifecycle);
+* :func:`shared_pool` — the process-wide pool every bench/decode
+  entry point reuses, so repeated batches stop paying spawn cost.
+"""
+
+from .pool import (
+    BACKEND_ENV,
+    OVERSUBSCRIBE_ENV,
+    START_METHOD_ENV,
+    WORKERS_ENV,
+    JobFailedError,
+    PoolClosedError,
+    WorkerCrashError,
+    WorkerPool,
+    available_cpus,
+    close_shared_pools,
+    default_chunksize,
+    effective_processes,
+    resolve_workers,
+    shared_pool,
+)
+from .service import DecodeService, decode_batch
+from .shm import FrameRef, FrameRing, RingReader, StaleFrameError, inline_ref
+
+__all__ = [
+    "WORKERS_ENV",
+    "BACKEND_ENV",
+    "OVERSUBSCRIBE_ENV",
+    "START_METHOD_ENV",
+    "available_cpus",
+    "resolve_workers",
+    "effective_processes",
+    "default_chunksize",
+    "PoolClosedError",
+    "WorkerCrashError",
+    "JobFailedError",
+    "WorkerPool",
+    "shared_pool",
+    "close_shared_pools",
+    "DecodeService",
+    "decode_batch",
+    "FrameRef",
+    "FrameRing",
+    "RingReader",
+    "StaleFrameError",
+    "inline_ref",
+]

@@ -1,0 +1,271 @@
+"""Shared-memory frame transport for the decode service.
+
+Large ``ndarray`` payloads (camera captures) dominate the cost of
+feeding decode jobs to worker processes: pickling a single paper-scale
+capture copies tens of megabytes through a pipe per job.  This module
+moves them through a ring of fixed-size
+:class:`multiprocessing.shared_memory.SharedMemory` slots instead:
+
+* the service front-end *stages* a frame by copying it once into a free
+  slot and handing the worker a pickle-tiny :class:`FrameRef`
+  (segment name, offset, dtype, shape, generation);
+* the worker side (:class:`RingReader`) attaches each segment once per
+  process and materializes a zero-copy ``np.frombuffer`` view over the
+  slot — no deserialization, no second copy;
+* every write stamps the slot header with a fresh **generation**
+  counter, and the reader re-checks it against the ref before handing
+  out a view, so a slot reclaimed too early fails loudly
+  (:class:`StaleFrameError`) instead of silently decoding the wrong
+  frame;
+* slots are explicitly reclaimed by the pool when a job's result comes
+  back — a bounded ring therefore doubles as back-pressure on frame
+  memory, independent of the job queue's own bound.
+
+Frames that do not fit a slot (or arrive when nothing can ever free a
+slot) degrade to an **inline** ref carrying the raw bytes through the
+queue — strictly the old pickling behaviour, never a deadlock.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "SLOT_HEADER_BYTES",
+    "StaleFrameError",
+    "FrameRef",
+    "FrameRing",
+    "RingReader",
+    "attach_segment",
+    "inline_ref",
+]
+
+#: Per-slot header: one little-endian uint64 generation stamp.
+SLOT_HEADER_BYTES = 8
+
+
+class StaleFrameError(RuntimeError):
+    """A worker dereferenced a slot whose generation no longer matches.
+
+    This is a slot-reclamation bug in the pool (a slot was released and
+    rewritten while a job still referenced it) — failing the one job is
+    vastly better than decoding another job's frame as if it were ours.
+    """
+
+
+@dataclass(frozen=True)
+class FrameRef:
+    """Pickle-tiny descriptor of one staged frame.
+
+    ``shm_name == ""`` marks an *inline* ref: the frame bytes ride in
+    ``payload`` through the job queue (the fallback for frames larger
+    than a ring slot).  Otherwise the bytes live at ``offset`` inside
+    the named shared-memory segment and ``generation`` must match the
+    slot header at read time.
+    """
+
+    shm_name: str
+    slot: int
+    offset: int
+    nbytes: int
+    dtype: str
+    shape: tuple[int, ...]
+    generation: int
+    payload: bytes = b""
+
+    @property
+    def inline(self) -> bool:
+        return not self.shm_name
+
+
+def inline_ref(array: np.ndarray) -> FrameRef:
+    """Fallback ref carrying the frame bytes in the pickle stream."""
+    arr = np.ascontiguousarray(array)
+    return FrameRef(
+        shm_name="",
+        slot=-1,
+        offset=0,
+        nbytes=arr.nbytes,
+        dtype=str(arr.dtype),
+        shape=tuple(arr.shape),
+        generation=0,
+        payload=arr.tobytes(),
+    )
+
+
+class FrameRing:
+    """Owner side of the slot ring (lives in the service front-end).
+
+    Not thread-safe on its own: the pool serializes ``try_acquire`` /
+    ``release`` under its slot condition variable.  ``write`` only
+    touches the slot the caller acquired, so concurrent writes to
+    *different* slots are safe.
+    """
+
+    def __init__(self, slots: int, slot_bytes: int):
+        if slots < 1:
+            raise ValueError(f"ring needs at least 1 slot, got {slots}")
+        if slot_bytes < 1:
+            raise ValueError(f"slot_bytes must be positive, got {slot_bytes}")
+        self.slots = int(slots)
+        self.slot_bytes = int(slot_bytes)
+        self._stride = SLOT_HEADER_BYTES + self.slot_bytes
+        self.shm = shared_memory.SharedMemory(
+            create=True, size=self.slots * self._stride
+        )
+        # LIFO free list: the most recently released slot is the most
+        # likely to still be warm in cache.
+        self._free = list(range(self.slots))
+        self._next_generation = 1
+        self._closed = False
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    @property
+    def free_slots(self) -> int:
+        return len(self._free)
+
+    def fits(self, nbytes: int) -> bool:
+        return nbytes <= self.slot_bytes
+
+    def try_acquire(self) -> Optional[int]:
+        """Pop a free slot index, or None when the ring is full."""
+        return self._free.pop() if self._free else None
+
+    def release(self, slot: int) -> None:
+        """Return *slot* to the free list (caller guarantees no reader)."""
+        self._free.append(slot)
+
+    def write(self, slot: int, array: np.ndarray) -> FrameRef:
+        """Copy *array* into *slot* and return its descriptor."""
+        arr = np.ascontiguousarray(array)
+        if arr.nbytes > self.slot_bytes:
+            raise ValueError(
+                f"frame of {arr.nbytes} bytes exceeds slot capacity {self.slot_bytes}"
+            )
+        base = slot * self._stride
+        generation = self._next_generation
+        self._next_generation += 1
+        struct.pack_into("<Q", self.shm.buf, base, generation)
+        start = base + SLOT_HEADER_BYTES
+        if arr.nbytes:
+            dest = np.frombuffer(
+                self.shm.buf, dtype=np.uint8, count=arr.nbytes, offset=start
+            )
+            np.copyto(dest, arr.reshape(-1).view(np.uint8))
+            del dest  # release the exported buffer before any close()
+        return FrameRef(
+            shm_name=self.shm.name,
+            slot=slot,
+            offset=start,
+            nbytes=arr.nbytes,
+            dtype=str(arr.dtype),
+            shape=tuple(arr.shape),
+            generation=generation,
+        )
+
+    def close(self, unlink: bool = True) -> None:
+        """Detach (and by default unlink) the segment.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self.shm.close()
+        if unlink:
+            try:
+                self.shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+
+def _unregister_attachment(segment: shared_memory.SharedMemory) -> None:
+    """Detach *segment* from this process's resource tracker.
+
+    On Python < 3.13 merely *attaching* to an existing segment registers
+    it with the resource tracker, which then tries to unlink it again
+    when the worker exits — racing the owner's own unlink and spamming
+    "leaked shared_memory" warnings.  The owner (the service front-end)
+    is solely responsible for the segment's lifetime, so attachments
+    must not be tracked.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(segment._name, "shared_memory")  # type: ignore[attr-defined]
+    except Exception:  # pragma: no cover - best-effort, version-dependent
+        pass
+
+
+def attach_segment(name: str, *, untrack: bool) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting its lifetime.
+
+    Pool workers always inherit the segment owner's resource tracker
+    (fork inherits the fd; POSIX spawn passes it in the preparation
+    data), so their attach-time registration is an idempotent no-op and
+    *untrack* must stay False — unregistering through the shared
+    tracker would strip the owner's own entry.  Set ``untrack=True``
+    only from a process with a *private* tracker (one not inherited
+    from the owner), where attach-time registration would otherwise
+    unlink the segment at process exit with a "leaked shared_memory"
+    warning.  Python >= 3.13 sidesteps all of this with ``track=False``.
+    """
+    try:
+        # Python >= 3.13 can simply opt out of tracking on attach.
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:
+        pass
+    segment = shared_memory.SharedMemory(name=name)
+    if untrack:
+        _unregister_attachment(segment)
+    return segment
+
+
+class RingReader:
+    """Worker-side attachment cache: :class:`FrameRef` -> ndarray view.
+
+    Each segment is attached once per process and reused for every
+    frame it carries; views are zero-copy and *writable* — a slot
+    belongs exclusively to its job until the result is returned, so a
+    decode stage scribbling on its input cannot corrupt anyone else.
+    """
+
+    def __init__(self, *, untrack: bool = False) -> None:
+        self._untrack = untrack
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+
+    def view(self, ref: FrameRef) -> np.ndarray:
+        if ref.inline:
+            flat = np.frombuffer(ref.payload, dtype=np.dtype(ref.dtype))
+            return flat.reshape(ref.shape).copy()  # own, writable memory
+        segment = self._segments.get(ref.shm_name)
+        if segment is None:
+            segment = attach_segment(ref.shm_name, untrack=self._untrack)
+            self._segments[ref.shm_name] = segment
+        (generation,) = struct.unpack_from(
+            "<Q", segment.buf, ref.offset - SLOT_HEADER_BYTES
+        )
+        if generation != ref.generation:
+            raise StaleFrameError(
+                f"slot {ref.slot} of {ref.shm_name} holds generation {generation}, "
+                f"job expected {ref.generation} (slot reclaimed too early)"
+            )
+        count = ref.nbytes // np.dtype(ref.dtype).itemsize
+        flat = np.frombuffer(
+            segment.buf, dtype=np.dtype(ref.dtype), count=count, offset=ref.offset
+        )
+        return flat.reshape(ref.shape)
+
+    def close(self) -> None:
+        """Drop every cached attachment (end of a worker's life)."""
+        for segment in self._segments.values():
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - a view is still alive
+                pass
+        self._segments.clear()

@@ -34,13 +34,18 @@ from .chrome_trace import (
 from .ledger import (
     LEDGER_SCHEMA_VERSION,
     Budget,
+    ScalingBudget,
+    ScalingVerdict,
     StageVerdict,
     append_record,
+    check_scaling,
     check_snapshot,
     diff_snapshots,
     format_check,
     format_diff,
+    format_scaling,
     load_budgets,
+    load_scaling_budgets,
     measure_stage_breakdown,
     read_ledger,
     resolve_snapshot,
@@ -63,6 +68,8 @@ __all__ = [
     "validate_chrome_trace",
     "LEDGER_SCHEMA_VERSION",
     "Budget",
+    "ScalingBudget",
+    "ScalingVerdict",
     "StageVerdict",
     "append_record",
     "read_ledger",
@@ -73,8 +80,11 @@ __all__ = [
     "diff_snapshots",
     "format_diff",
     "load_budgets",
+    "load_scaling_budgets",
     "check_snapshot",
+    "check_scaling",
     "format_check",
+    "format_scaling",
     "measure_stage_breakdown",
     "ScenarioProgress",
     "collect_progress",

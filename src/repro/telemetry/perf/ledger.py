@@ -42,7 +42,12 @@ from typing import Any, Mapping
 __all__ = [
     "LEDGER_SCHEMA_VERSION",
     "Budget",
+    "ScalingBudget",
+    "ScalingVerdict",
     "StageVerdict",
+    "load_scaling_budgets",
+    "check_scaling",
+    "format_scaling",
     "append_record",
     "read_ledger",
     "resolve_snapshot",
@@ -222,14 +227,8 @@ class Budget:
         return min(limits) if limits else None
 
 
-def load_budgets(path: str | Path) -> dict[str, Budget]:
-    """Parse a budgets file (``.toml`` or ``.json``) into per-stage budgets.
-
-    Returns a mapping with a ``"default"`` entry (always present) plus
-    one entry per ``[stage.<name>]`` override; overrides inherit the
-    default's unspecified fields.
-    """
-    path = Path(path)
+def _load_budget_doc(path: Path) -> dict[str, Any]:
+    """Load and version-check a budgets file (``.toml`` or ``.json``)."""
     if path.suffix == ".toml":
         try:
             import tomllib
@@ -246,10 +245,21 @@ def load_budgets(path: str | Path) -> dict[str, Budget]:
         raise ValueError(f"{path}: budgets must be .toml or .json")
     if not isinstance(doc, dict):
         raise ValueError(f"{path}: budgets root must be a table/object")
-
     version = doc.get("schema_version", 1)
     if version != 1:
         raise ValueError(f"{path}: unsupported budgets schema_version {version}")
+    return doc
+
+
+def load_budgets(path: str | Path) -> dict[str, Budget]:
+    """Parse a budgets file (``.toml`` or ``.json``) into per-stage budgets.
+
+    Returns a mapping with a ``"default"`` entry (always present) plus
+    one entry per ``[stage.<name>]`` override; overrides inherit the
+    default's unspecified fields.
+    """
+    path = Path(path)
+    doc = _load_budget_doc(path)
 
     def build(entry: Mapping[str, Any], base: Budget) -> Budget:
         unknown = set(entry) - {"ratio", "slack_ms", "max_ms"}
@@ -270,6 +280,177 @@ def load_budgets(path: str | Path) -> dict[str, Budget]:
             raise ValueError(f"{path}: [stage.{name}] must be a table/object")
         budgets[str(name)] = build(entry, default)
     return budgets
+
+
+# -- worker-scaling budgets --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScalingBudget:
+    """Speedup floor for one worker-scaling benchmark entry.
+
+    The gate is **host-aware**: a snapshot produced on a host with at
+    least *workers* cores must clear ``min_speedup``; a host with fewer
+    cores physically cannot scale, so it is only held to ``floor`` —
+    the graceful no-regression bound (pooled time no worse than ~1/
+    floor of serial).  ``expected_ceiling(host_cpus)`` records the
+    best speedup the host could theoretically reach (min of workers
+    and cores), which snapshots store next to the measured value.
+    """
+
+    workers: int = 4
+    min_speedup: float = 3.0
+    floor: float = 0.95
+
+    def required_speedup(self, host_cpus: int) -> float:
+        return self.min_speedup if host_cpus >= self.workers else self.floor
+
+    def expected_ceiling(self, host_cpus: int) -> float:
+        return float(min(self.workers, max(1, host_cpus)))
+
+
+def load_scaling_budgets(path: str | Path) -> dict[str, ScalingBudget]:
+    """Parse ``[scaling.<name>]`` tables from a budgets file.
+
+    Each name must match a worker-scaling entry of the benchmark
+    snapshot (e.g. ``sweep_1_vs_4_workers``).  Files without scaling
+    tables return an empty mapping — the scaling gate is opt-in.
+    """
+    doc = _load_budget_doc(Path(path))
+    out: dict[str, ScalingBudget] = {}
+    for name, entry in doc.get("scaling", {}).items():
+        if not isinstance(entry, Mapping):
+            raise ValueError(f"{path}: [scaling.{name}] must be a table/object")
+        unknown = set(entry) - {"workers", "min_speedup", "floor"}
+        if unknown:
+            raise ValueError(f"{path}: unknown scaling budget keys {sorted(unknown)}")
+        out[str(name)] = ScalingBudget(
+            workers=int(entry.get("workers", 4)),
+            min_speedup=float(entry.get("min_speedup", 3.0)),
+            floor=float(entry.get("floor", 0.95)),
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class ScalingVerdict:
+    """Outcome of one scaling entry's host-aware speedup check."""
+
+    name: str
+    speedup: float | None
+    required: float | None
+    workers: int
+    host_cpus: int | None
+    bit_identical: bool | None
+    ok: bool
+    note: str = ""
+
+
+def check_scaling(
+    snapshot: Mapping[str, Any],
+    budgets: Mapping[str, ScalingBudget],
+    *,
+    fallback: Mapping[str, Any] | None = None,
+) -> list[ScalingVerdict]:
+    """Gate worker-scaling entries of *snapshot* under *budgets*.
+
+    For each budgeted name the entry is looked up in *snapshot* first,
+    then in *fallback* (the committed baseline — a live ``repro perf
+    check`` measures only stage timings, so the scaling evidence
+    usually rides on the baseline).  The required speedup is
+    host-aware: entries record the ``host_cpus`` they were measured
+    with (falling back to the snapshot's ``host.cpu_count``), and a
+    host with fewer cores than workers is only held to the budget's
+    no-regression ``floor``.  An entry whose ``bit_identical`` flag is
+    recorded False fails outright — a fast wrong answer is not a
+    speedup.
+    """
+    verdicts: list[ScalingVerdict] = []
+    for name in sorted(budgets):
+        budget = budgets[name]
+        source: Mapping[str, Any] = snapshot
+        entry = snapshot.get(name)
+        if not isinstance(entry, Mapping) and fallback is not None:
+            source = fallback
+            entry = fallback.get(name)
+        if not isinstance(entry, Mapping):
+            verdicts.append(
+                ScalingVerdict(
+                    name, None, None, budget.workers, None, None, True,
+                    "no measurement recorded",
+                )
+            )
+            continue
+        host = source.get("host", {})
+        host_cpus = entry.get("host_cpus", host.get("cpu_count"))
+        host_cpus = int(host_cpus) if host_cpus is not None else None
+        speedup = entry.get("speedup")
+        speedup = float(speedup) if speedup is not None else None
+        bit_identical = entry.get("bit_identical")
+        if speedup is None:
+            verdicts.append(
+                ScalingVerdict(
+                    name, None, None, budget.workers, host_cpus, bit_identical,
+                    False, "entry has no speedup field",
+                )
+            )
+            continue
+        if host_cpus is None:
+            verdicts.append(
+                ScalingVerdict(
+                    name, speedup, None, budget.workers, None, bit_identical,
+                    False, "entry has no host_cpus / host.cpu_count",
+                )
+            )
+            continue
+        required = budget.required_speedup(host_cpus)
+        ok = speedup >= required
+        note = ""
+        if host_cpus < budget.workers:
+            note = (
+                f"host has {host_cpus} core(s) < {budget.workers} workers; "
+                f"holding to the {budget.floor:.2f}x floor"
+            )
+        if not ok:
+            note = (note + "; " if note else "") + "below required speedup"
+        if bit_identical is False:
+            ok = False
+            note = (note + "; " if note else "") + "results NOT bit-identical"
+        verdicts.append(
+            ScalingVerdict(
+                name, speedup, required, budget.workers, host_cpus, bit_identical,
+                ok, note,
+            )
+        )
+    return verdicts
+
+
+def format_scaling(verdicts: list[ScalingVerdict]) -> str:
+    """Human-readable verdict table for :func:`check_scaling`."""
+    header = (
+        f"{'scaling entry':<32} {'speedup':>8} {'required':>9} "
+        f"{'cpus':>5} {'bitid':>6} {'verdict':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for v in verdicts:
+        speedup = f"{v.speedup:.2f}x" if v.speedup is not None else "-"
+        required = f"{v.required:.2f}x" if v.required is not None else "-"
+        cpus = str(v.host_cpus) if v.host_cpus is not None else "-"
+        bitid = "-" if v.bit_identical is None else ("yes" if v.bit_identical else "NO")
+        verdict = "ok" if v.ok else "FAIL"
+        suffix = f"  ({v.note})" if v.note else ""
+        lines.append(
+            f"{v.name:<32} {speedup:>8} {required:>9} {cpus:>5} {bitid:>6} "
+            f"{verdict:>8}{suffix}"
+        )
+    failed = [v.name for v in verdicts if not v.ok]
+    lines.append("")
+    lines.append(
+        "scaling check: PASS"
+        if not failed
+        else f"scaling check: FAIL ({', '.join(failed)})"
+    )
+    return "\n".join(lines)
 
 
 # -- the gate ---------------------------------------------------------------

@@ -26,6 +26,15 @@ from repro.bench.parallel import WORKERS_ENV
 from repro.channel import FrameSchedule, ScreenCameraLink
 from repro.core.decoder import FrameDecoder
 from repro.core.encoder import FrameCodecConfig, FrameEncoder
+from repro.serve import OVERSUBSCRIBE_ENV
+
+
+@pytest.fixture(autouse=True)
+def _force_pooling(monkeypatch):
+    # On a 1-core host the engine (correctly) skips the pool entirely;
+    # force real worker processes so this suite keeps exercising the
+    # pooled path everywhere.
+    monkeypatch.setenv(OVERSUBSCRIBE_ENV, "1")
 
 
 def _jobs(seeds, num_frames=2):
@@ -46,13 +55,31 @@ class TestResolveWorkers:
         monkeypatch.setenv(WORKERS_ENV, "7")
         assert resolve_workers(3) == 3
 
-    def test_env_fallback(self, monkeypatch):
-        monkeypatch.setenv(WORKERS_ENV, "5")
-        assert resolve_workers() == 5
+    def test_env_fallback_clamped_to_cores(self, monkeypatch):
+        from repro.serve import available_cpus
 
-    def test_default_is_cpu_count(self, monkeypatch):
+        cpus = available_cpus()
+        monkeypatch.setenv(WORKERS_ENV, str(cpus))
+        assert resolve_workers() == cpus
+        # Asking for more than the host has warns once and clamps: on a
+        # 1-core bench container extra processes are pure overhead.
+        monkeypatch.setenv(WORKERS_ENV, str(cpus + 4))
+        with pytest.warns(RuntimeWarning, match="exceeds"):
+            assert resolve_workers() == cpus
+
+    def test_env_within_cores_does_not_warn(self, monkeypatch):
+        import warnings
+
+        monkeypatch.setenv(WORKERS_ENV, "1")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_workers() == 1
+
+    def test_default_is_clamped_cpu_count(self, monkeypatch):
+        from repro.serve import available_cpus
+
         monkeypatch.delenv(WORKERS_ENV, raising=False)
-        assert resolve_workers() >= 1
+        assert resolve_workers() == available_cpus() >= 1
 
     def test_floor_of_one(self):
         assert resolve_workers(0) == 1
@@ -88,6 +115,46 @@ class TestRunTrialsParallel:
 
     def test_empty_jobs(self):
         assert run_trials_parallel(run_rainbar_trial, [], workers=2) == []
+
+    def test_legacy_executor_backend_matches_pool(self):
+        jobs = _jobs([1, 2, 3])
+        pooled = run_trials_parallel(run_rainbar_trial, jobs, workers=2)
+        legacy = run_trials_parallel(
+            run_rainbar_trial, jobs, workers=2, backend="executor", chunksize=2
+        )
+        for a, b in zip(pooled, legacy):
+            assert dataclasses.asdict(a) == dataclasses.asdict(b)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            run_trials_parallel(
+                run_rainbar_trial, _jobs([1, 2]), workers=2, backend="threads"
+            )
+
+    def test_chunksize_preserves_order(self):
+        jobs = _jobs([5, 1, 9, 2])
+        chunked = run_trials_parallel(run_rainbar_trial, jobs, workers=2, chunksize=3)
+        expected = [run_rainbar_trial(**job) for job in jobs]
+        for a, b in zip(chunked, expected):
+            assert dataclasses.asdict(a) == dataclasses.asdict(b)
+
+    def test_single_process_pool_degenerates_to_serial(self, monkeypatch):
+        # One effective process = IPC with no parallelism: the engine
+        # must run in-process without touching a pool.
+        import repro.bench.parallel as parallel_mod
+
+        monkeypatch.delenv(OVERSUBSCRIBE_ENV, raising=False)
+        monkeypatch.setattr("repro.serve.pool.available_cpus", lambda: 1)
+
+        def _no_pool(workers):
+            raise AssertionError("shared_pool must not be used at 1 process")
+
+        monkeypatch.setattr(parallel_mod, "shared_pool", _no_pool)
+        jobs = _jobs([1, 2, 3])
+        fanned = run_trials_parallel(run_rainbar_trial, jobs, workers=4)
+        serial = run_trials_parallel(run_rainbar_trial, jobs, workers=1)
+        for a, b in zip(fanned, serial):
+            assert dataclasses.asdict(a) == dataclasses.asdict(b)
 
 
 class TestSweep:

@@ -1,0 +1,305 @@
+"""WorkerPool lifecycle, shared-memory hygiene, and failure semantics.
+
+The decode service's contract is blunt: no worker process and no
+``SharedMemory`` segment outlives ``close()``, a crashed worker fails
+its jobs loudly instead of hanging, and submitting past the queue
+bound blocks (back-pressure) rather than buffering unbounded frames.
+Every test here is timeout-guarded — a hang is itself the failure mode
+under test.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    FrameRing,
+    JobFailedError,
+    PoolClosedError,
+    RingReader,
+    StaleFrameError,
+    WorkerCrashError,
+    WorkerPool,
+    available_cpus,
+    close_shared_pools,
+    default_chunksize,
+    inline_ref,
+    resolve_workers,
+    shared_pool,
+)
+
+
+def _shm_segments() -> set[str]:
+    return set(glob.glob("/dev/shm/psm_*"))
+
+
+# -- module-level job functions (must be picklable) -------------------------
+
+
+def _square(x):
+    return x * x
+
+
+def _frame_total(frames, offset):
+    return [float(f.sum()) + offset for f in frames]
+
+
+def _sleep_then(x, duration):
+    time.sleep(duration)
+    return x
+
+
+def _hard_exit(code):
+    os._exit(code)
+
+
+def _raise_value_error(message):
+    raise ValueError(message)
+
+
+# -- basic execution --------------------------------------------------------
+
+
+class TestExecution:
+    def test_submit_roundtrip(self):
+        with WorkerPool(2) as pool:
+            futures = [pool.submit(_square, x=i) for i in range(8)]
+            assert [f.result(30) for f in futures] == [i * i for i in range(8)]
+
+    def test_map_ordered_preserves_order(self):
+        with WorkerPool(2) as pool:
+            out = pool.map_ordered(_square, [{"x": i} for i in range(10)], chunksize=3)
+        assert out == [i * i for i in range(10)]
+
+    def test_map_ordered_empty(self):
+        with WorkerPool(2) as pool:
+            assert pool.map_ordered(_square, []) == []
+
+    def test_frames_travel_via_shared_memory(self):
+        with WorkerPool(2, slot_bytes=1 << 16) as pool:
+            a = np.arange(100, dtype=np.float64).reshape(10, 10)
+            b = np.ones((4, 4), dtype=np.uint8)
+            got = pool.submit(_frame_total, frames=[a, b], offset=0.5).result(30)
+            assert got == [float(a.sum()) + 0.5, float(b.sum()) + 0.5]
+            assert pool.ring is not None  # the ring really was used
+
+    def test_oversized_frame_falls_back_inline(self):
+        with WorkerPool(1, slot_bytes=64) as pool:
+            big = np.arange(1000, dtype=np.float64)
+            got = pool.submit(_frame_total, frames=[big], offset=0.0).result(30)
+            assert got == [float(big.sum())]
+
+    def test_processes_capped_at_available_cores(self):
+        with WorkerPool(available_cpus() + 3) as pool:
+            assert pool.processes == available_cpus()
+            assert pool.requested == available_cpus() + 3
+
+    def test_oversubscribe_opt_in(self):
+        with WorkerPool(2, oversubscribe=True) as pool:
+            assert pool.processes == 2
+
+
+# -- lifecycle and hygiene --------------------------------------------------
+
+
+class TestLifecycle:
+    def test_close_terminates_workers_and_unlinks_shm(self):
+        before = _shm_segments()
+        pool = WorkerPool(2, slot_bytes=1 << 16)
+        frame = np.zeros((8, 8), dtype=np.float64)
+        assert pool.submit(_frame_total, frames=[frame], offset=1.0).result(30) == [1.0]
+        workers = list(pool._workers)
+        pool.close()
+        deadline = time.monotonic() + 10
+        while any(p.is_alive() for p in workers) and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert not any(p.is_alive() for p in workers)
+        assert _shm_segments() == before
+
+    def test_close_is_idempotent(self):
+        pool = WorkerPool(1)
+        pool.close()
+        pool.close()
+
+    def test_submit_after_close_raises(self):
+        pool = WorkerPool(1)
+        pool.close()
+        with pytest.raises(PoolClosedError):
+            pool.submit(_square, x=1)
+
+    def test_context_manager_closes_on_exception(self):
+        before = _shm_segments()
+        with pytest.raises(RuntimeError, match="boom"):
+            with WorkerPool(1, slot_bytes=1 << 12) as pool:
+                frame = np.zeros(4, dtype=np.float64)
+                pool.submit(_frame_total, frames=[frame], offset=0.0).result(30)
+                raise RuntimeError("boom")
+        assert pool.closed
+        assert _shm_segments() == before
+
+    def test_join_waits_then_closes(self):
+        pool = WorkerPool(1)
+        future = pool.submit(_sleep_then, x=42, duration=0.2)
+        pool.join(timeout=30)
+        assert future.result(0) == 42
+        assert pool.closed
+
+    def test_shared_pool_reused_and_closed(self):
+        first = shared_pool(2)
+        assert shared_pool(2) is first
+        close_shared_pools()
+        assert first.closed
+        second = shared_pool(2)
+        assert second is not first and not second.closed
+        close_shared_pools()
+
+
+# -- failure semantics ------------------------------------------------------
+
+
+class TestFailures:
+    def test_job_exception_surfaces_and_pool_survives(self):
+        with WorkerPool(1) as pool:
+            failing = pool.submit(_raise_value_error, message="nope")
+            with pytest.raises(JobFailedError, match="ValueError: nope") as info:
+                failing.result(30)
+            assert "worker traceback" in str(info.value)
+            # The worker is still alive and serving.
+            assert pool.submit(_square, x=6).result(30) == 36
+
+    def test_worker_crash_fails_pending_jobs_not_hangs(self):
+        before = _shm_segments()
+        pool = WorkerPool(1)
+        doomed = pool.submit(_hard_exit, code=3)
+        with pytest.raises(WorkerCrashError, match="exit code 3"):
+            doomed.result(30)
+        with pytest.raises(WorkerCrashError):
+            pool.submit(_square, x=1)
+        pool.close()
+        assert _shm_segments() == before
+
+    def test_shared_pool_replaces_broken_pool(self):
+        pool = shared_pool(1)
+        with pytest.raises(WorkerCrashError):
+            pool.submit(_hard_exit, code=5).result(30)
+        replacement = shared_pool(1)
+        assert replacement is not pool
+        assert replacement.submit(_square, x=3).result(30) == 9
+        close_shared_pools()
+
+
+# -- back-pressure ----------------------------------------------------------
+
+
+class TestBackPressure:
+    def test_submit_blocks_at_queue_depth(self):
+        with WorkerPool(1, queue_depth=1) as pool:
+            # Occupy the single worker, then fill the single queue slot.
+            blocker = pool.submit(_sleep_then, x=0, duration=1.0)
+            queued = pool.submit(_sleep_then, x=1, duration=0.0)
+
+            submitted = threading.Event()
+
+            def overflow():
+                pool.submit(_sleep_then, x=2, duration=0.0)
+                submitted.set()
+
+            thread = threading.Thread(target=overflow, daemon=True)
+            thread.start()
+            # While the worker sleeps, the third submit must be blocked.
+            assert not submitted.wait(0.3), "submit did not apply back-pressure"
+            assert blocker.result(30) == 0
+            assert submitted.wait(30), "submit never unblocked"
+            thread.join(30)
+            assert queued.result(30) == 1
+
+    def test_frame_ring_blocks_until_slots_free(self):
+        # 1 worker, roomy queue, but only the minimum 4 ring slots:
+        # staging a 5th frame while the first job still holds its slot
+        # must wait for reclamation, not crash or duplicate slots.
+        with WorkerPool(1, ring_slots=4, slot_bytes=1 << 12, queue_depth=16) as pool:
+            frame = np.ones(16, dtype=np.float64)
+            futures = [
+                pool.submit(_frame_total, frames=[frame], offset=float(i))
+                for i in range(8)
+            ]
+            assert [f.result(30) for f in futures] == [[16.0 + i] for i in range(8)]
+
+
+# -- shm primitives ----------------------------------------------------------
+
+
+class TestShmPrimitives:
+    def test_ring_roundtrip_zero_copy(self):
+        ring = FrameRing(slots=2, slot_bytes=1 << 12)
+        reader = RingReader()
+        try:
+            arr = np.arange(64, dtype=np.float32).reshape(8, 8)
+            slot = ring.try_acquire()
+            ref = ring.write(slot, arr)
+            view = reader.view(ref)
+            np.testing.assert_array_equal(view, arr)
+            assert view.dtype == arr.dtype and view.shape == arr.shape
+            del view
+        finally:
+            reader.close()
+            ring.close()
+
+    def test_stale_generation_detected(self):
+        ring = FrameRing(slots=1, slot_bytes=1 << 12)
+        reader = RingReader()
+        try:
+            slot = ring.try_acquire()
+            old_ref = ring.write(slot, np.zeros(4, dtype=np.float64))
+            ring.release(slot)
+            slot = ring.try_acquire()
+            ring.write(slot, np.ones(4, dtype=np.float64))
+            with pytest.raises(StaleFrameError):
+                reader.view(old_ref)
+        finally:
+            reader.close()
+            ring.close()
+
+    def test_ring_unlinks_segment_on_close(self):
+        before = _shm_segments()
+        ring = FrameRing(slots=1, slot_bytes=1 << 12)
+        assert _shm_segments() != before
+        ring.close()
+        assert _shm_segments() == before
+        ring.close()  # idempotent
+
+    def test_inline_ref_roundtrip(self):
+        arr = np.arange(12, dtype=np.int32).reshape(3, 4)
+        ref = inline_ref(arr)
+        assert ref.inline
+        view = RingReader().view(ref)
+        np.testing.assert_array_equal(view, arr)
+        view[0, 0] = 99  # inline views are private, writable copies
+        assert arr[0, 0] == 0
+
+
+# -- worker resolution -------------------------------------------------------
+
+
+class TestResolveWorkers:
+    def test_env_clamped_with_warning(self, monkeypatch):
+        cpus = available_cpus()
+        monkeypatch.setenv("REPRO_WORKERS", str(cpus + 2))
+        with pytest.warns(RuntimeWarning, match="exceeds"):
+            assert resolve_workers() == cpus
+
+    def test_explicit_not_clamped(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "1")
+        assert resolve_workers(available_cpus() + 7) == available_cpus() + 7
+
+    def test_default_chunksize_shape(self):
+        assert default_chunksize(0, 4) == 1
+        assert default_chunksize(16, 4) == 1
+        assert default_chunksize(64, 4) == 4
+        assert default_chunksize(100, 1) == 25

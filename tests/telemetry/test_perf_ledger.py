@@ -196,3 +196,116 @@ class TestCliExitCodes:
         code = main(["perf", "diff", f"{ledger}@0", f"{ledger}@-1"])
         assert code == 0
         assert "0.50x" in capsys.readouterr().out
+
+
+SCALING_TOML = """
+schema_version = 1
+[default]
+ratio = 2.0
+slack_ms = 1.0
+[scaling.sweep_1_vs_4_workers]
+workers = 4
+min_speedup = 3.0
+floor = 0.95
+"""
+
+
+def _scaling_snapshot(speedup, host_cpus, bit_identical=True):
+    snap = _snapshot({"corners": 20.0})
+    snap["sweep_1_vs_4_workers"] = {
+        "speedup": speedup,
+        "workers": 4,
+        "host_cpus": host_cpus,
+        "bit_identical": bit_identical,
+    }
+    return snap
+
+
+class TestScalingGate:
+    def _budgets(self, tmp_path):
+        path = tmp_path / "budgets.toml"
+        path.write_text(SCALING_TOML)
+        return path
+
+    def test_load_scaling_budgets(self, tmp_path):
+        from repro.telemetry.perf import ScalingBudget, load_scaling_budgets
+
+        budgets = load_scaling_budgets(self._budgets(tmp_path))
+        assert budgets == {
+            "sweep_1_vs_4_workers": ScalingBudget(workers=4, min_speedup=3.0, floor=0.95)
+        }
+        # Files without [scaling.*] tables opt out of the gate entirely.
+        plain = tmp_path / "plain.toml"
+        plain.write_text(BUDGETS_TOML)
+        assert load_scaling_budgets(plain) == {}
+
+    def test_required_speedup_is_host_aware(self):
+        from repro.telemetry.perf import ScalingBudget
+
+        budget = ScalingBudget(workers=4, min_speedup=3.0, floor=0.95)
+        assert budget.required_speedup(8) == 3.0
+        assert budget.required_speedup(4) == 3.0
+        assert budget.required_speedup(1) == 0.95
+        assert budget.expected_ceiling(1) == 1.0
+        assert budget.expected_ceiling(16) == 4.0
+
+    def test_multicore_host_held_to_min_speedup(self, tmp_path):
+        from repro.telemetry.perf import check_scaling, load_scaling_budgets
+
+        budgets = load_scaling_budgets(self._budgets(tmp_path))
+        good = check_scaling(_scaling_snapshot(3.4, host_cpus=8), budgets)
+        assert [v.ok for v in good] == [True]
+        bad = check_scaling(_scaling_snapshot(2.1, host_cpus=8), budgets)
+        assert [v.ok for v in bad] == [False]
+
+    def test_small_host_held_only_to_floor(self, tmp_path):
+        from repro.telemetry.perf import check_scaling, load_scaling_budgets
+
+        budgets = load_scaling_budgets(self._budgets(tmp_path))
+        floor_ok = check_scaling(_scaling_snapshot(0.97, host_cpus=1), budgets)
+        assert [v.ok for v in floor_ok] == [True]
+        assert "floor" in floor_ok[0].note
+        regressed = check_scaling(_scaling_snapshot(0.54, host_cpus=1), budgets)
+        assert [v.ok for v in regressed] == [False]
+
+    def test_non_bit_identical_fails_regardless_of_speed(self, tmp_path):
+        from repro.telemetry.perf import check_scaling, load_scaling_budgets
+
+        budgets = load_scaling_budgets(self._budgets(tmp_path))
+        verdicts = check_scaling(
+            _scaling_snapshot(9.9, host_cpus=8, bit_identical=False), budgets
+        )
+        assert [v.ok for v in verdicts] == [False]
+        assert "bit-identical" in verdicts[0].note
+
+    def test_fallback_to_baseline_entries(self, tmp_path):
+        from repro.telemetry.perf import check_scaling, load_scaling_budgets
+
+        budgets = load_scaling_budgets(self._budgets(tmp_path))
+        live = _snapshot({"corners": 20.0})  # live check: no scaling entries
+        baseline = _scaling_snapshot(0.97, host_cpus=1)
+        verdicts = check_scaling(live, budgets, fallback=baseline)
+        assert [v.ok for v in verdicts] == [True]
+        # No entry anywhere: passes with an explanatory note, never KeyErrors.
+        none = check_scaling(live, budgets)
+        assert [v.ok for v in none] == [True]
+        assert "no measurement" in none[0].note
+
+    def test_cli_gate_passes_floor_on_small_host(self, tmp_path, capsys):
+        budgets = self._budgets(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(_scaling_snapshot(0.97, host_cpus=1)))
+        code = main(["perf", "check", "--baseline", str(baseline),
+                     "--budget", str(budgets), "--current", str(baseline)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scaling check: PASS" in out
+
+    def test_cli_gate_fails_on_regression(self, tmp_path, capsys):
+        budgets = self._budgets(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(_scaling_snapshot(0.38, host_cpus=1)))
+        code = main(["perf", "check", "--baseline", str(baseline),
+                     "--budget", str(budgets), "--current", str(baseline)])
+        assert code == 1
+        assert "scaling check: FAIL" in capsys.readouterr().out
