@@ -32,7 +32,10 @@ from .optics import LensModel
 from .screen import FrameSchedule
 
 if TYPE_CHECKING:
+    from pathlib import Path
+
     from ..faults.plan import FaultPlan
+    from ..io.trace import TraceMetadata, TraceReader
 
 __all__ = ["LinkConfig", "Capture", "ScreenCameraLink"]
 
@@ -188,3 +191,65 @@ class ScreenCameraLink:
     def geometry(self, screen_shape: tuple[int, int]) -> PinholeSetup:
         """The nominal (jitter-free) projection for *screen_shape*."""
         return self._setup_for(screen_shape, (0.0, 0.0), 0.0)
+
+    # -- capture traces ----------------------------------------------------
+
+    def trace_metadata(self, extra: "dict[str, object] | None" = None) -> "TraceMetadata":
+        """Capture metadata describing this link, for trace headers.
+
+        Records the sensor geometry, the camera timing (f_c plus the
+        rolling-shutter parameters a replay decoder may want), a
+        fingerprint of the attached fault plan, and the producing git
+        revision — enough to interpret a recorded session without this
+        simulator instance.
+        """
+        from ..io.trace import TraceMetadata
+        from ..telemetry.events import run_metadata
+
+        cfg = self.config
+        fingerprint = ""
+        if self.faults is not None and self.faults.active:
+            label = self.faults.name or self.faults.describe()
+            fingerprint = f"{label}@seed={self.faults.seed}"
+        return TraceMetadata(
+            resolution=cfg.sensor_size,
+            fps=cfg.timing.capture_rate,
+            exposure_s=cfg.timing.exposure_s,
+            readout_fraction=cfg.timing.readout_fraction,
+            fault_plan=fingerprint,
+            git_rev=str(run_metadata().get("git_rev", "")),
+            extra=dict(extra or {}),
+        )
+
+    def export_trace(
+        self,
+        schedule: FrameSchedule,
+        path: "str | Path",
+        *,
+        start_offset: float | None = None,
+        chunk_frames: int = 64,
+        extra_metadata: "dict[str, object] | None" = None,
+    ) -> "TraceReader":
+        """Capture the whole schedule and record it as a capture trace.
+
+        Renders exactly what :meth:`capture_stream` would deliver — same
+        RNG consumption, same fault-plan drops/duplicates — and streams
+        every capture frame plus its capture start time into the
+        versioned trace container at *path* (see :mod:`repro.io.trace`).
+        Returns a :class:`~repro.io.trace.TraceReader` over the written
+        trace; replaying it through
+        :meth:`repro.core.decoder.FrameDecoder.decode_trace` is
+        bit-identical to decoding the in-memory captures.
+        """
+        from ..io.trace import TraceWriter
+
+        captures = self.capture_stream(schedule, start_offset=start_offset)
+        with telemetry.span("channel.export_trace", frames=len(captures)):
+            writer = TraceWriter(
+                path, metadata=self.trace_metadata(extra_metadata),
+                chunk_frames=chunk_frames,
+            )
+            writer.extend(captures)
+            reader = writer.close()
+        telemetry.registry().counter("channel.traces_exported").inc()
+        return reader

@@ -7,6 +7,9 @@ Commands
 ``simulate``  end-to-end demo over the simulated channel
 ``capacity``  print the Section III-B capacity comparison
 ``info``      describe a saved frame stream
+``trace``     capture traces: ``record`` a simulated session into the
+versioned trace container, replay-``decode`` one (optionally across
+the worker pool), ``info``/validate one
 ``faults-campaign``  sweep the fault-injection matrix across seeds
 ``telemetry``  report on a ``REPRO_TELEMETRY=1`` run's artifacts
 (``report``/``export-trace``/``aggregate``/``tail``)
@@ -178,6 +181,59 @@ def build_parser() -> argparse.ArgumentParser:
                         help="total trials per scenario, for progress fractions")
     tail_p.add_argument("--refreshes", type=int, default=None,
                         help="stop --follow after this many refreshes")
+
+    trace = sub.add_parser(
+        "trace",
+        help="capture traces: record, replay-decode, inspect",
+        description=(
+            "Works on the versioned capture-trace container "
+            "(repro.io.trace): `record` simulates a session and writes "
+            "it as a trace, `decode` replays a trace through the "
+            "decode pipeline (optionally across the worker pool), and "
+            "`info` renders the header and validates the container."
+        ),
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    trec = trace_sub.add_parser(
+        "record", help="simulate a transmission and record it as a trace"
+    )
+    trec.add_argument("-o", "--output", required=True, help="trace directory to write")
+    trec.add_argument("--message", default="hello from the RainBar CLI")
+    trec.add_argument("--input", default=None,
+                      help="encode this file instead of --message")
+    trec.add_argument("--scenario", default=None,
+                      help="fault scenario to inject (see faults-campaign)")
+    trec.add_argument("--distance-cm", type=float, default=12.0)
+    trec.add_argument("--angle-deg", type=float, default=0.0)
+    trec.add_argument("--display-rate", type=int, default=10)
+    trec.add_argument("--seed", type=int, default=0)
+    trec.add_argument("--chunk-frames", type=int, default=64,
+                      help="frames per npz chunk")
+
+    tdec = trace_sub.add_parser(
+        "decode", help="replay-decode a recorded trace"
+    )
+    tdec.add_argument("trace", help="trace directory written by `repro trace record`")
+    tdec.add_argument("--display-rate", type=int, default=10)
+    tdec.add_argument("--block-px", type=int, default=12)
+    tdec.add_argument("--grid", default=None,
+                      help="decoder grid as ROWSxCOLSxBLOCK (overrides "
+                           "--display-rate/--block-px geometry defaults)")
+    tdec.add_argument("--workers", type=int, default=None,
+                      help="worker processes (default: REPRO_WORKERS or serial)")
+    tdec.add_argument("--chunksize", type=int, default=None,
+                      help="frames per pool job")
+    tdec.add_argument("--json", dest="json_out", default=None,
+                      help="write per-frame decode outcomes as JSON here "
+                           "(stable across worker counts — diffable)")
+    tdec.add_argument("--no-verify", action="store_true",
+                      help="skip per-chunk checksum verification")
+
+    tinf = trace_sub.add_parser("info", help="describe a recorded trace")
+    tinf.add_argument("trace", help="trace directory")
+    tinf.add_argument("--check", action="store_true",
+                      help="also walk every chunk (full conformance check)")
 
     perf = sub.add_parser(
         "perf",
@@ -419,6 +475,180 @@ def _cmd_faults_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "record":
+        return _cmd_trace_record(args)
+    if args.trace_command == "decode":
+        return _cmd_trace_decode(args)
+    return _cmd_trace_info(args)
+
+
+def _cmd_trace_record(args: argparse.Namespace) -> int:
+    from .channel.link import LinkConfig, ScreenCameraLink
+    from .channel.screen import FrameSchedule
+    from .core.encoder import FrameEncoder
+    from .faults import scenario_names, scenario_plan
+
+    if args.input is not None:
+        data = Path(args.input).read_bytes()
+    else:
+        data = args.message.encode()
+    faults = None
+    if args.scenario:
+        if args.scenario not in scenario_names():
+            print(f"unknown scenario {args.scenario!r}; "
+                  f"available: {', '.join(scenario_names())}", file=sys.stderr)
+            return 2
+        faults = scenario_plan(args.scenario, seed=args.seed)
+
+    config = _config(args.display_rate, 12)
+    frames = FrameEncoder(config).encode_stream(data)
+    schedule = FrameSchedule(
+        [f.render() for f in frames], display_rate=args.display_rate, faults=faults
+    )
+    link = ScreenCameraLink(
+        LinkConfig(distance_cm=args.distance_cm, view_angle_deg=args.angle_deg),
+        rng=np.random.default_rng(args.seed),
+        faults=faults,
+    )
+    # The decoder geometry travels in the trace header, so `repro trace
+    # decode` can configure itself from the trace alone.
+    layout = config.layout
+    reader = link.export_trace(
+        schedule, args.output, chunk_frames=args.chunk_frames,
+        extra_metadata={
+            "display_rate": args.display_rate,
+            "grid_rows": layout.grid_rows,
+            "grid_cols": layout.grid_cols,
+            "block_px": layout.block_px,
+            "payload_bytes": len(data),
+        },
+    )
+    print(f"{len(data)} bytes -> {len(frames)} frames -> "
+          f"{reader.num_frames} captures recorded to {args.output} "
+          f"({len(reader._index)} chunk(s), scenario "
+          f"{args.scenario or 'clean'})")
+    return 0
+
+
+def _trace_decoder_config(args: argparse.Namespace, metadata: object) -> "FrameCodecConfig":
+    """Decoder geometry for a trace: --grid > trace header > CLI defaults."""
+    from .core.encoder import FrameCodecConfig
+    from .core.layout import FrameLayout
+
+    if args.grid:
+        try:
+            rows, cols, block = (int(v) for v in args.grid.lower().split("x"))
+        except ValueError:
+            raise ValueError(f"--grid must be ROWSxCOLSxBLOCK, got {args.grid!r}")
+        return FrameCodecConfig(
+            layout=FrameLayout(grid_rows=rows, grid_cols=cols, block_px=block),
+            display_rate=args.display_rate,
+        )
+    extra = getattr(metadata, "extra", None) or {}
+    if {"grid_rows", "grid_cols", "block_px"} <= set(extra):
+        return FrameCodecConfig(
+            layout=FrameLayout(
+                grid_rows=int(extra["grid_rows"]),
+                grid_cols=int(extra["grid_cols"]),
+                block_px=int(extra["block_px"]),
+            ),
+            display_rate=int(extra.get("display_rate", args.display_rate)),
+        )
+    return _config(args.display_rate, args.block_px)
+
+
+def _cmd_trace_decode(args: argparse.Namespace) -> int:
+    import hashlib
+    import json as json_mod
+
+    from .core.decoder import FrameDecoder
+    from .io.trace import TraceFormatError, TraceReader
+
+    try:
+        reader = TraceReader(args.trace, verify=not args.no_verify)
+        config = _trace_decoder_config(args, reader.metadata)
+    except TraceFormatError as exc:
+        print(f"trace decode: {exc}", file=sys.stderr)
+        return 1
+    except (OSError, ValueError) as exc:
+        print(f"trace decode: {exc}", file=sys.stderr)
+        return 2
+
+    decoder = FrameDecoder(config)
+    try:
+        results = decoder.decode_trace(
+            reader, workers=args.workers, chunksize=args.chunksize
+        )
+    except TraceFormatError as exc:
+        print(f"trace decode: {exc}", file=sys.stderr)
+        return 1
+
+    outcomes = []
+    for index, result in enumerate(results):
+        if result is None:
+            outcomes.append({"index": index, "decoded": False})
+            continue
+        outcomes.append({
+            "index": index,
+            "decoded": True,
+            "ok": result.ok,
+            "sequence": result.sequence,
+            "payload_sha256": hashlib.sha256(result.payload).hexdigest(),
+            "erased_bytes": result.erased_bytes,
+            "failure": result.failure,
+        })
+    decoded = sum(1 for o in outcomes if o["decoded"])
+    ok = sum(1 for o in outcomes if o.get("ok"))
+    print(f"{len(results)} capture(s): {decoded} decoded, {ok} frame(s) ok, "
+          f"{len(results) - decoded} undecodable")
+    if args.json_out:
+        doc = {
+            "trace": str(args.trace),
+            "schema_version": reader.header["version"],
+            "captures": len(results),
+            "results": outcomes,
+        }
+        out = Path(args.json_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json_mod.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {out}")
+    return 0
+
+
+def _cmd_trace_info(args: argparse.Namespace) -> int:
+    from .io.trace import TraceFormatError, TraceReader, trace_info
+
+    try:
+        info = trace_info(args.trace)
+    except TraceFormatError as exc:
+        print(f"trace info: {exc}", file=sys.stderr)
+        return 1
+    print(f"capture trace {info['path']} (schema v{info['version']})")
+    shape = "x".join(str(d) for d in info["frame_shape"]) or "?"
+    print(f"  {info['num_frames']} frame(s) of {shape} {info['frame_dtype']} "
+          f"in {info['num_chunks']} chunk(s)")
+    if info["duration_s"] is not None:
+        print(f"  duration {info['duration_s']:.3f} s")
+    meta = info["metadata"]
+    if meta.get("resolution"):
+        print(f"  resolution {meta['resolution'][0]}x{meta['resolution'][1]}, "
+              f"fps {meta.get('fps')}, exposure {meta.get('exposure_s')} s, "
+              f"readout {meta.get('readout_fraction')}")
+    print(f"  fault plan: {meta.get('fault_plan') or 'clean'}; "
+          f"recorded at git rev {meta.get('git_rev') or '?'}")
+    if meta.get("extra"):
+        print(f"  extra: {meta['extra']}")
+    if args.check:
+        try:
+            TraceReader(args.trace).validate()
+        except TraceFormatError as exc:
+            print(f"trace info: conformance check FAILED: {exc}", file=sys.stderr)
+            return 1
+        print("  conformance check passed (all chunks verified)")
+    return 0
+
+
 def _cmd_telemetry(args: argparse.Namespace) -> int:
     if args.telemetry_command == "export-trace":
         return _cmd_telemetry_export_trace(args)
@@ -602,6 +832,7 @@ _COMMANDS = {
     "capacity": _cmd_capacity,
     "info": _cmd_info,
     "faults-campaign": _cmd_faults_campaign,
+    "trace": _cmd_trace,
     "telemetry": _cmd_telemetry,
     "perf": _cmd_perf,
     "analyze": _cmd_analyze,

@@ -335,7 +335,20 @@ class FrameDecoder:
         root: Span,
     ) -> CaptureExtraction:
         with stage("input"):
-            image = np.asarray(image, dtype=np.float64)
+            try:
+                image = np.asarray(image, dtype=np.float64)
+            except TypeError as exc:
+                # np.asarray turns non-numeric input (an exhausted
+                # iterator, an empty generator of frames, objects) into
+                # an object array whose float conversion raises
+                # TypeError — which is not in _UNEXPECTED_ERRORS, so
+                # without this it would escape extract_diagnosed.  Bad
+                # input is an input-stage failure, not a crash.
+                raise DecodeError(
+                    f"capture is not numeric image data: {exc}",
+                    stage="input",
+                    exception=type(exc).__name__,
+                ) from exc
             if image.ndim != 3 or image.shape[-1] != 3 or image.size == 0:
                 raise DecodeError(
                     f"capture must be a non-empty (H, W, 3) array, got shape "
@@ -493,7 +506,7 @@ class FrameDecoder:
                 # corrupted — degrade to NaN instead of raising.
                 try:
                     return float(sharpness_score(np.asarray(img, dtype=np.float64)))
-                except _UNEXPECTED_ERRORS:
+                except _UNEXPECTED_ERRORS + (TypeError,):
                     return nan
 
             return None, DecodeDiagnostics(
@@ -701,6 +714,96 @@ class FrameDecoder:
             return [_decode_one_or_none(self, image) for image in images]
         pooled = DecodeService(self, pool=shared_pool(workers))
         return pooled.map_ordered(images, chunksize=chunksize)
+
+    def decode_trace(
+        self,
+        trace: Any,
+        workers: int | None = None,
+        *,
+        chunksize: int | None = None,
+        service: Any = None,
+        verify: bool = True,
+    ) -> list[FrameResult | None]:
+        """Replay a recorded capture trace through the decode path.
+
+        *trace* is a trace directory path (see :mod:`repro.io.trace`)
+        or an open :class:`~repro.io.trace.TraceReader`.  Frames stream
+        chunk by chunk — a long session never loads fully into memory:
+        the serial path decodes each chunk as it is read, and the
+        pooled path (``workers`` resolves exactly as in
+        :meth:`decode_stream`) stages frames into the shared-memory
+        ring as it reads, with the pool's back-pressure bounding how
+        far the reader runs ahead of the workers.  uint8 traces are
+        restored to float images in [0, 1]
+        (:func:`repro.io.trace.normalize_frame`); float traces replay
+        bit-identically, so results match decoding the original
+        in-memory captures for any worker count.
+
+        Conformance violations (truncated chunks, index disagreement,
+        non-finite timing) raise :class:`~repro.io.trace.
+        TraceFormatError` — a corrupt trace never yields a silent
+        partial decode.  ``verify=False`` skips only the per-chunk
+        checksum, never the structural checks.
+        """
+        from ..io.trace import TraceReader, normalize_frame
+        from ..serve import (
+            DecodeService,
+            effective_processes,
+            resolve_workers,
+            shared_pool,
+        )
+
+        reader = trace if isinstance(trace, TraceReader) else TraceReader(
+            trace, verify=verify
+        )
+        telemetry.registry().counter("decode.trace_replays").inc()
+        if service is not None:
+            own = DecodeService(self, pool=service.pool, chunksize=chunksize)
+            return self._decode_trace_pooled(reader, own, chunksize)
+        workers = resolve_workers(workers)
+        if workers <= 1 or len(reader) <= 1 or effective_processes(workers) <= 1:
+            return [
+                _decode_one_or_none(self, normalize_frame(frame.image))
+                for frame in reader
+            ]
+        pooled = DecodeService(self, pool=shared_pool(workers))
+        return self._decode_trace_pooled(reader, pooled, chunksize)
+
+    def _decode_trace_pooled(
+        self,
+        reader: Any,
+        service: Any,
+        chunksize: int | None,
+    ) -> list[FrameResult | None]:
+        """Stream *reader* through *service*, preserving input order.
+
+        Jobs are submitted as frames arrive from the trace; submission
+        order fixes result order, so the output is structurally
+        bit-identical to the serial replay regardless of worker count
+        or chunk boundaries (trace chunks and job chunks need not
+        align).
+        """
+        from ..io.trace import normalize_frame
+        from ..serve import default_chunksize
+
+        if chunksize is None:
+            chunksize = service.chunksize
+        if chunksize is None:
+            chunksize = default_chunksize(len(reader), service.pool.requested)
+        chunksize = max(1, int(chunksize))
+        futures = []
+        batch: list[np.ndarray] = []
+        for frame in reader:
+            batch.append(normalize_frame(frame.image))
+            if len(batch) >= chunksize:
+                futures.append(service.submit(batch))
+                batch = []
+        if batch:
+            futures.append(service.submit(batch))
+        out: list[FrameResult | None] = []
+        for future in futures:
+            out.extend(future.result())
+        return out
 
 
 def _assign_rows(

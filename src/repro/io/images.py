@@ -18,11 +18,11 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
-from .core.encoder import Frame, FrameCodecConfig
-from .core.header import FrameHeader
+from ..core.encoder import Frame, FrameCodecConfig
+from ..core.header import FrameHeader
 
 if TYPE_CHECKING:
-    from .channel.link import Capture
+    from ..channel.link import Capture
 
 __all__ = [
     "write_png",
@@ -133,7 +133,7 @@ def save_frame_stream(path: str | Path, frames: list[Frame]) -> None:
 
 def load_frame_stream(path: str | Path, config: FrameCodecConfig | None = None) -> list[Frame]:
     """Load a stream saved by :func:`save_frame_stream`."""
-    from .core.layout import FrameLayout
+    from ..core.layout import FrameLayout
 
     with np.load(Path(path), allow_pickle=False) as data:
         rows, cols, block = (int(v) for v in data["layout"])
@@ -167,7 +167,7 @@ def save_captures(path: str | Path, captures: "Sequence[Capture]") -> None:
 
 def load_captures(path: str | Path) -> "list[Capture]":
     """Load a session saved by :func:`save_captures` (floats restored)."""
-    from .channel.link import Capture
+    from ..channel.link import Capture
 
     with np.load(Path(path), allow_pickle=False) as data:
         return [

@@ -163,6 +163,28 @@ class DecodeService:
             out.extend(future.result(timeout))
         return out
 
+    def decode_trace(
+        self,
+        trace: Any,
+        *,
+        chunksize: Optional[int] = None,
+        verify: bool = True,
+    ) -> list[Optional["FrameResult"]]:
+        """Replay a recorded capture trace on this service's pool.
+
+        *trace* is a trace directory (see :mod:`repro.io.trace`) or an
+        open :class:`~repro.io.trace.TraceReader`.  Frames stream from
+        the trace straight into shared-memory job batches — the pool's
+        back-pressure bounds reader memory — and results come back in
+        frame order, bit-identical to the serial replay.
+        """
+        from ..io.trace import TraceReader
+
+        reader = trace if isinstance(trace, TraceReader) else TraceReader(
+            trace, verify=verify
+        )
+        return self.decoder._decode_trace_pooled(reader, self, chunksize)
+
     # -- lifecycle -------------------------------------------------------
 
     def join(self, timeout: Optional[float] = None) -> None:

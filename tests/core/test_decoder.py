@@ -120,6 +120,34 @@ class TestFailureModes:
         assert not result.ok
         assert result.failure
 
+    @pytest.mark.parametrize(
+        "empty",
+        [
+            [],
+            (),
+            np.empty((0, 480, 3)),
+            np.empty((480, 0, 3)),
+            np.empty((0, 0, 0)),
+            iter([]),
+        ],
+        ids=["list", "tuple", "zero-rows", "zero-cols", "zero-all", "iterator"],
+    )
+    def test_empty_frame_sequence_is_diagnosed_not_raised(self, config, empty):
+        # Regression: an empty capture (or a non-array iterable reaching
+        # the decoder, e.g. an exhausted frame iterator) must come back
+        # as a diagnosed input-stage failure, never an unhandled
+        # TypeError/IndexError out of the pipeline.
+        extraction, diagnostics = FrameDecoder(config).extract_diagnosed(empty)
+        assert extraction is None
+        assert diagnostics.failure is not None
+        assert diagnostics.failure.stage == "input"
+
+    def test_empty_decode_stream_inputs_map_to_none(self, config):
+        decoder = FrameDecoder(config)
+        assert decoder.decode_stream([]) == []
+        results = decoder.decode_stream([np.empty((0, 480, 3))])
+        assert results == [None]
+
 
 class TestAssembleFrame:
     def make_header(self, config, payload):

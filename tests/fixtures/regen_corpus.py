@@ -5,7 +5,12 @@ Run from the repository root:
     PYTHONPATH=src python tests/fixtures/regen_corpus.py
 
 Each fixture is one captured image (8-bit PNG) of the small campaign
-geometry plus its expected decode outcome in ``expected.json``.  The
+geometry plus its expected decode outcome in ``expected.json``, and —
+since the capture-trace wire format landed — the same quantized
+capture as a one-frame trace under ``corpus/traces/<name>.rbtrace/``
+(decoding the trace is bit-identical to decoding the PNG: the trace
+stores the identical uint8 pixels, and the replay path divides by 255
+exactly as the golden test does).  The
 builder is fully deterministic — seeds are fixed, every random draw
 comes from a named generator — so regenerating on an unchanged decoder
 reproduces the corpus byte for byte.  Regenerate (and review the diff
@@ -122,6 +127,46 @@ def expected_outcome(image_u8: np.ndarray) -> dict:
     }
 
 
+def write_fixture_trace(case: dict, image_u8: np.ndarray, out_dir: Path) -> None:
+    """Store one fixture as a one-frame capture trace (schema v1).
+
+    The trace carries the *identical* quantized uint8 pixels the PNG
+    does, so replay-decoding it is bit-identical to the golden PNG
+    path.  ``git_rev`` is deliberately left empty: the corpus must
+    regenerate byte-for-byte on an unchanged decoder, and a baked-in
+    revision would churn on every commit.
+    """
+    import shutil
+
+    from repro.channel.camera import CameraTiming
+    from repro.io.trace import TraceMetadata, TraceWriter
+
+    timing = CameraTiming()
+    fingerprint = ""
+    if case["scenario"]:
+        fingerprint = f"{case['scenario']}@seed={case['seed']}"
+    rows, cols, block = GRID
+    metadata = TraceMetadata(
+        resolution=SENSOR,
+        fps=timing.capture_rate,
+        exposure_s=timing.exposure_s,
+        readout_fraction=timing.readout_fraction,
+        fault_plan=fingerprint,
+        extra={
+            "fixture": case["name"],
+            "display_rate": DISPLAY_RATE,
+            "grid_rows": rows,
+            "grid_cols": cols,
+            "block_px": block,
+        },
+    )
+    trace_dir = out_dir / "traces" / f"{case['name']}.rbtrace"
+    if trace_dir.exists():
+        shutil.rmtree(trace_dir)
+    with TraceWriter(trace_dir, metadata) as writer:
+        writer.append(image_u8, case["time"] / DISPLAY_RATE)
+
+
 def regenerate(out_dir: Path = CORPUS_DIR) -> dict:
     from repro.io import write_png
 
@@ -130,6 +175,7 @@ def regenerate(out_dir: Path = CORPUS_DIR) -> dict:
     for case in corpus_cases():
         image = render_fixture(case)
         write_png(out_dir / f"{case['name']}.png", image)
+        write_fixture_trace(case, image, out_dir)
         expected[case["name"]] = expected_outcome(image)
         print(f"{case['name']}: {expected[case['name']]}")
     (out_dir / "expected.json").write_text(

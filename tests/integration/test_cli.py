@@ -172,3 +172,77 @@ class TestPerformanceObservatory:
                      "--budget", "budgets.toml",
                      "--current", "BENCH_decode.json"]) == 0
         assert "PASS" in capsys.readouterr().out
+
+
+class TestTrace:
+    """`repro trace record|decode|info` end to end."""
+
+    @pytest.fixture(scope="class")
+    def recorded(self, tmp_path_factory):
+        trace = tmp_path_factory.mktemp("cli_trace") / "session.rbtrace"
+        rc = main(
+            [
+                "trace", "record",
+                "-o", str(trace),
+                "--message", "trace cli round trip",
+                "--seed", "3",
+                "--chunk-frames", "2",
+            ]
+        )
+        assert rc == 0
+        return trace
+
+    def test_record_then_info_and_check(self, recorded, capsys):
+        assert main(["trace", "info", str(recorded)]) == 0
+        out = capsys.readouterr().out
+        assert "capture trace" in out and "schema v1" in out
+
+        assert main(["trace", "info", str(recorded), "--check"]) == 0
+        assert "conformance check passed" in capsys.readouterr().out
+
+    def test_decode_json_is_worker_invariant(self, recorded, tmp_path, capsys):
+        from repro.serve import close_shared_pools
+
+        serial = tmp_path / "serial.json"
+        pooled = tmp_path / "pooled.json"
+        assert main(["trace", "decode", str(recorded),
+                     "--json", str(serial)]) == 0
+        assert "decoded" in capsys.readouterr().out
+        try:
+            assert main(["trace", "decode", str(recorded),
+                         "--workers", "2", "--json", str(pooled)]) == 0
+        finally:
+            close_shared_pools()
+        assert serial.read_text() == pooled.read_text()
+
+    def test_decode_missing_trace_is_format_error(self, tmp_path, capsys):
+        rc = main(["trace", "decode", str(tmp_path / "nope.rbtrace")])
+        assert rc == 1
+        assert "header.json" in capsys.readouterr().err
+
+    def test_decode_bad_grid_is_usage_error(self, recorded, capsys):
+        rc = main(["trace", "decode", str(recorded), "--grid", "24x44"])
+        assert rc == 2
+        assert "ROWSxCOLSxBLOCK" in capsys.readouterr().err
+
+    def test_info_check_flags_truncated_chunk(self, recorded, tmp_path, capsys):
+        import shutil
+
+        broken = tmp_path / "broken.rbtrace"
+        shutil.copytree(recorded, broken)
+        chunk = next((broken / "chunks").glob("chunk-*.npz"))
+        chunk.write_bytes(chunk.read_bytes()[:-16])
+        assert main(["trace", "info", str(broken), "--check"]) == 1
+        assert "conformance check FAILED" in capsys.readouterr().err
+
+    def test_info_rejects_future_schema_version(self, recorded, tmp_path, capsys):
+        import json
+        import shutil
+
+        future = tmp_path / "future.rbtrace"
+        shutil.copytree(recorded, future)
+        header = json.loads((future / "header.json").read_text())
+        header["version"] = 99
+        (future / "header.json").write_text(json.dumps(header))
+        assert main(["trace", "info", str(future)]) == 1
+        assert "unsupported trace schema version" in capsys.readouterr().err

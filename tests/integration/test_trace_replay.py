@@ -1,0 +1,130 @@
+"""Replay-equivalence: decoding a trace == decoding the live captures.
+
+The golden corpus now exists in two forms — the original PNG fixtures
+and one-frame capture traces under ``tests/fixtures/corpus/traces/``.
+These tests pin the contract of ROADMAP item 3: replaying a recorded
+trace through :meth:`FrameDecoder.decode_trace` must be bit-identical
+to decoding the same captures in memory, for every fixture and for
+every worker count (serial, 2 workers, 4 workers via the shared pool).
+Payloads, ok flags, erasure counts *and* failure stages must match.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.decoder import FrameDecoder
+from repro.core.encoder import FrameCodecConfig
+from repro.core.layout import FrameLayout
+from repro.io import read_png
+from repro.io.trace import TraceMetadata, TraceReader, TraceWriter, normalize_frame
+from repro.serve import DecodeService, close_shared_pools
+
+CORPUS_DIR = Path(__file__).parent.parent / "fixtures" / "corpus"
+TRACES_DIR = CORPUS_DIR / "traces"
+EXPECTED = json.loads((CORPUS_DIR / "expected.json").read_text())
+
+
+def _decoder() -> FrameDecoder:
+    # Must match tests/fixtures/regen_corpus.py's GRID.
+    layout = FrameLayout(grid_rows=24, grid_cols=44, block_px=8)
+    return FrameDecoder(FrameCodecConfig(layout=layout, display_rate=10))
+
+
+def _png_image(name: str) -> np.ndarray:
+    return read_png(CORPUS_DIR / f"{name}.png").astype(np.float64) / 255.0
+
+
+def test_corpus_traces_are_complete():
+    names = {p.name.removesuffix(".rbtrace") for p in TRACES_DIR.glob("*.rbtrace")}
+    assert names == set(EXPECTED), "corpus traces and expected.json disagree"
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_trace_pixels_match_png_fixture(name):
+    """The trace stores the identical quantized pixels the PNG does."""
+    reader = TraceReader(TRACES_DIR / f"{name}.rbtrace")
+    images, times = reader.read_all()
+    assert images.shape[0] == 1 and images.dtype == np.uint8
+    assert np.array_equal(
+        normalize_frame(images[0]), _png_image(name)
+    ), f"{name}: trace pixels diverge from the PNG fixture"
+    assert np.isfinite(times).all()
+    assert reader.metadata.extra["fixture"] == name
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_trace_replay_matches_live_decode_per_fixture(name):
+    """Serial replay: results and failure stages equal the live path."""
+    decoder = _decoder()
+    live_image = _png_image(name)
+    live_results = decoder.decode_stream([live_image])
+    replay_results = decoder.decode_trace(TRACES_DIR / f"{name}.rbtrace")
+    assert replay_results == live_results
+
+    # Failure *stages* must agree too, not just the None-ness.
+    frame = next(iter(TraceReader(TRACES_DIR / f"{name}.rbtrace")))
+    live_ex, live_diag = decoder.extract_diagnosed(live_image)
+    replay_ex, replay_diag = decoder.extract_diagnosed(normalize_frame(frame.image))
+    assert (live_ex is None) == (replay_ex is None)
+    if live_ex is None:
+        assert live_diag.failure is not None and replay_diag.failure is not None
+        assert replay_diag.failure.stage == live_diag.failure.stage
+        assert replay_diag.failure.stage == EXPECTED[name]["failure_stage"]
+    else:
+        assert np.array_equal(replay_ex.data_symbols, live_ex.data_symbols)
+        assert np.array_equal(replay_ex.row_assignment, live_ex.row_assignment)
+        assert replay_ex.header == live_ex.header
+
+
+@pytest.fixture(scope="module")
+def combined_trace(tmp_path_factory):
+    """All six fixtures concatenated into one multi-chunk trace."""
+    path = tmp_path_factory.mktemp("replay") / "corpus.rbtrace"
+    names = sorted(EXPECTED)
+    with TraceWriter(
+        path,
+        metadata=TraceMetadata(resolution=(300, 480), fps=30.0,
+                               extra={"fixtures": names}),
+        chunk_frames=2,
+    ) as writer:
+        for i, name in enumerate(names):
+            reader = TraceReader(TRACES_DIR / f"{name}.rbtrace")
+            images, _ = reader.read_all()
+            writer.append(images[0], i / 30.0)
+    return path, names
+
+
+def test_combined_trace_serial_replay_matches_live(combined_trace):
+    path, names = combined_trace
+    decoder = _decoder()
+    live = decoder.decode_stream([_png_image(n) for n in names])
+    assert decoder.decode_trace(path) == live
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_combined_trace_pooled_replay_bit_identical(combined_trace, workers):
+    """decode_trace across the shm pool == serial == live, per worker count."""
+    path, names = combined_trace
+    decoder = _decoder()
+    live = decoder.decode_stream([_png_image(n) for n in names])
+    try:
+        pooled = decoder.decode_trace(path, workers=workers)
+    finally:
+        close_shared_pools()
+    assert pooled == live
+
+
+def test_decode_trace_via_service_and_chunksize_invariance(combined_trace):
+    """DecodeService.decode_trace, any chunking: identical results."""
+    path, names = combined_trace
+    decoder = _decoder()
+    live = decoder.decode_stream([_png_image(n) for n in names])
+    with DecodeService(decoder, workers=2) as service:
+        assert service.decode_trace(path) == live
+        assert service.decode_trace(path, chunksize=1) == live
+        assert service.decode_trace(path, chunksize=5) == live
