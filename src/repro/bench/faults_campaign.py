@@ -33,6 +33,7 @@ from ..core.layout import FrameLayout
 from ..faults import scenario_names, scenario_plan
 from ..link.session import TransferSession
 from ..telemetry.metrics import MetricsRegistry, merge_snapshots
+from ..telemetry.quality import quality_summary
 from .parallel import run_trials_parallel
 
 __all__ = [
@@ -316,6 +317,7 @@ def campaign_to_json(trials: list[FaultTrialResult], summaries: list[ScenarioSum
                 "captures_dropped": s.captures_dropped,
                 "drop_reasons": dict(sorted(s.drop_reasons.items())),
                 "failure_stages": dict(sorted(s.failure_stages.items())),
+                "quality": quality_summary(s.metrics),
                 "metrics": s.metrics,
             }
             for s in summaries

@@ -13,6 +13,9 @@ the worker pool), ``info``/validate one
 ``faults-campaign``  sweep the fault-injection matrix across seeds
 ``telemetry``  report on a ``REPRO_TELEMETRY=1`` run's artifacts
 (``report``/``export-trace``/``aggregate``/``tail``)
+``quality``   channel-quality observatory: render the link-health /
+RS-margin / confusion-matrix report from a telemetry run, or gate it
+against the ``[quality.*]`` budgets (``report [--check]``)
 ``perf``      perf-ledger tooling: ``diff`` two snapshots, ``check``
 current timings against a baseline under ``budgets.toml``
 
@@ -181,6 +184,39 @@ def build_parser() -> argparse.ArgumentParser:
                         help="total trials per scenario, for progress fractions")
     tail_p.add_argument("--refreshes", type=int, default=None,
                         help="stop --follow after this many refreshes")
+
+    qual = sub.add_parser(
+        "quality",
+        help="channel-quality observatory: link-health report and gate",
+        description=(
+            "Folds a REPRO_TELEMETRY=1 run's metrics snapshot into the "
+            "channel-quality summary: RS correction margins, the color "
+            "confusion matrix, locator/sync confidence, CRC failure "
+            "rates and the goodput timeline."
+        ),
+    )
+    qual_sub = qual.add_subparsers(dest="quality_command", required=True)
+    qrep = qual_sub.add_parser(
+        "report",
+        help="render the channel-quality report (or gate it with --check)",
+    )
+    qrep.add_argument(
+        "--dir", default=None,
+        help="telemetry directory (default: $REPRO_TELEMETRY_DIR or telemetry/)",
+    )
+    qrep.add_argument(
+        "--out", default="benchmarks/results",
+        help="write Q1_quality_report.{txt,json} here ('-' prints only)",
+    )
+    qrep.add_argument(
+        "--check", action="store_true",
+        help="gate the summary against the [quality.*] budget tables; "
+             "exit 0 pass, 1 fail, 2 usage error",
+    )
+    qrep.add_argument(
+        "--budget", default="budgets.toml",
+        help="budgets file with [quality.*] tables (.toml or .json)",
+    )
 
     trace = sub.add_parser(
         "trace",
@@ -603,12 +639,20 @@ def _cmd_trace_decode(args: argparse.Namespace) -> int:
     print(f"{len(results)} capture(s): {decoded} decoded, {ok} frame(s) ok, "
           f"{len(results) - decoded} undecodable")
     if args.json_out:
+        from . import telemetry
+
         doc = {
             "trace": str(args.trace),
             "schema_version": reader.header["version"],
             "captures": len(results),
             "results": outcomes,
         }
+        # Telemetry-enabled replays embed the deterministic metrics
+        # snapshot (timing excluded), which stays byte-identical across
+        # worker counts — the outcome file remains diffable.
+        registry = telemetry.registry()
+        if telemetry.env_enabled() and registry:
+            doc["metrics"] = registry.snapshot(include_timing=False)
         out = Path(args.json_out)
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(json_mod.dumps(doc, indent=2, sort_keys=True) + "\n")
@@ -769,6 +813,53 @@ def _cmd_telemetry_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_quality(args: argparse.Namespace) -> int:
+    return _cmd_quality_report(args)
+
+
+def _cmd_quality_report(args: argparse.Namespace) -> int:
+    from . import telemetry
+    from .telemetry.quality import (
+        build_quality_report,
+        check_quality,
+        format_quality_check,
+        format_quality_report,
+        load_quality_budgets,
+        write_quality_report,
+    )
+
+    directory = Path(args.dir) if args.dir else telemetry.output_dir()
+    if not directory.is_dir():
+        print(f"no telemetry directory at {directory} "
+              f"(run something with {telemetry.ENV_TOGGLE}=1 first)", file=sys.stderr)
+        return 2
+    try:
+        report = build_quality_report(directory)
+    except (OSError, ValueError) as exc:
+        print(f"quality report: {exc}", file=sys.stderr)
+        return 2
+
+    if args.check:
+        try:
+            budgets = load_quality_budgets(args.budget)
+        except (OSError, ValueError) as exc:
+            print(f"quality report: {exc}", file=sys.stderr)
+            return 2
+        if not budgets:
+            print(f"quality report: no [quality.*] tables in {args.budget}",
+                  file=sys.stderr)
+            return 2
+        verdicts = check_quality(report["summary"], budgets)
+        print(format_quality_check(verdicts))
+        return 0 if all(v.ok for v in verdicts) else 1
+
+    print(format_quality_report(report))
+    if args.out != "-":
+        txt, js = write_quality_report(report, args.out)
+        print(f"\nwrote {txt} and {js}")
+    return 0
+
+
 def _cmd_perf(args: argparse.Namespace) -> int:
     from .telemetry.perf import (
         check_scaling,
@@ -834,6 +925,7 @@ _COMMANDS = {
     "faults-campaign": _cmd_faults_campaign,
     "trace": _cmd_trace,
     "telemetry": _cmd_telemetry,
+    "quality": _cmd_quality,
     "perf": _cmd_perf,
     "analyze": _cmd_analyze,
 }
@@ -855,9 +947,13 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     code = _COMMANDS[args.command](args)
     # Environment-enabled runs leave their trace/metrics behind for the
-    # `telemetry report` subcommand (which must not clobber the very
-    # artifacts it is reading).
-    if args.command != "telemetry" and telemetry.env_enabled() and telemetry.enabled():
+    # `telemetry report` / `quality report` subcommands (which must not
+    # clobber the very artifacts they are reading).
+    if (
+        args.command not in ("telemetry", "quality")
+        and telemetry.env_enabled()
+        and telemetry.enabled()
+    ):
         telemetry.flush()
     return code
 

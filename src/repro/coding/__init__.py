@@ -3,7 +3,13 @@
 from .crc import Crc8, Crc16, crc8, crc16
 from .galois import GF256, gf_add, gf_div, gf_inverse, gf_mul, gf_pow
 from .interleave import Interleaver, block_deinterleave, block_interleave
-from .reed_solomon import BlockCode, ReedSolomon, RSDecodeError
+from .reed_solomon import (
+    BlockCode,
+    CodewordStats,
+    ReedSolomon,
+    RSDecodeError,
+    RSDecodeStats,
+)
 
 __all__ = [
     "Crc8",
@@ -22,4 +28,6 @@ __all__ = [
     "ReedSolomon",
     "BlockCode",
     "RSDecodeError",
+    "CodewordStats",
+    "RSDecodeStats",
 ]

@@ -19,17 +19,95 @@ Messages longer than ``k`` are chunked transparently by
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from .galois import gf_inverse, gf_mul, gf_pow, poly_divmod, poly_mul
 
-__all__ = ["ReedSolomon", "RSDecodeError", "BlockCode"]
+__all__ = [
+    "ReedSolomon",
+    "RSDecodeError",
+    "BlockCode",
+    "CodewordStats",
+    "RSDecodeStats",
+]
 
 
 class RSDecodeError(ValueError):
     """Raised when a received word has more errors than the code corrects."""
+
+
+@dataclass(frozen=True)
+class CodewordStats:
+    """Correction accounting for one decoded RS codeword.
+
+    ``errors`` counts corrected positions that were *not* declared as
+    erasures; ``erasures`` counts the erasure positions supplied to the
+    decoder (each costs one parity symbol whether or not it actually
+    carried an error).  A codeword whose syndromes were all zero records
+    ``errors == erasures == 0``: no correction budget was spent even if
+    erasure hints were offered.  ``failed`` marks a codeword the decoder
+    gave up on (its other fields then describe the failed attempt).
+    """
+
+    errors: int
+    erasures: int
+    parity: int
+    failed: bool = False
+
+    @property
+    def corrected(self) -> int:
+        """Symbol positions the decoder rewrote (errors + erasures)."""
+        return self.errors + self.erasures
+
+    @property
+    def budget_used(self) -> int:
+        """Parity budget consumed: ``2e + s`` of the ``2e + s <= n - k`` bound."""
+        return 2 * self.errors + self.erasures
+
+    @property
+    def margin(self) -> float:
+        """Remaining correction headroom in [0, 1]; 0.0 for failed codewords."""
+        if self.failed or self.parity <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.budget_used / self.parity)
+
+
+@dataclass
+class RSDecodeStats:
+    """Mutable side-channel accumulating :class:`CodewordStats` per decode.
+
+    Pass one to :meth:`ReedSolomon.decode` (or the :class:`BlockCode`
+    wrappers) to observe corrected-symbol and erasure counts without
+    changing the decode result — the default ``stats=None`` path is
+    byte-identical to not asking.  One object may span several calls
+    (e.g. every chunk of a :class:`BlockCode` payload).
+    """
+
+    codewords: list[CodewordStats] = field(default_factory=list)
+
+    def add(self, stats: CodewordStats) -> None:
+        self.codewords.append(stats)
+
+    @property
+    def corrected_symbols(self) -> int:
+        """Non-erasure symbol errors corrected across all codewords."""
+        return sum(cw.errors for cw in self.codewords if not cw.failed)
+
+    @property
+    def erasures(self) -> int:
+        """Erasure positions consumed across all successfully decoded codewords."""
+        return sum(cw.erasures for cw in self.codewords if not cw.failed)
+
+    @property
+    def failed_codewords(self) -> int:
+        return sum(1 for cw in self.codewords if cw.failed)
+
+    @property
+    def clean_codewords(self) -> int:
+        """Codewords that decoded with zero corrections."""
+        return sum(1 for cw in self.codewords if not cw.failed and cw.corrected == 0)
 
 
 def _generator_poly(num_parity: int) -> np.ndarray:
@@ -147,12 +225,17 @@ class ReedSolomon:
         self,
         received: bytes | bytearray | np.ndarray,
         erasures: list[int] | None = None,
+        *,
+        stats: RSDecodeStats | None = None,
     ) -> bytes:
         """Return the corrected ``k``-byte message.
 
         *erasures* lists byte positions (0-based from the start of the
         codeword) known to be unreliable.  The code corrects ``e`` errors
         plus ``s`` erasures whenever ``2 e + s <= n - k``.
+
+        *stats*, when given, receives one :class:`CodewordStats` per call
+        (including failed attempts) without altering the decode result.
 
         Raises :exc:`RSDecodeError` when correction fails.
         """
@@ -163,26 +246,57 @@ class ReedSolomon:
         if any(not 0 <= e < self.n for e in erasures):
             raise ValueError("erasure positions out of range")
         if len(erasures) > self.num_parity:
+            if stats is not None:
+                stats.add(
+                    CodewordStats(
+                        errors=0,
+                        erasures=len(erasures),
+                        parity=self.num_parity,
+                        failed=True,
+                    )
+                )
             raise RSDecodeError("more erasures than parity symbols")
 
         syndromes = self._syndromes(word)
         if not any(syndromes):
+            if stats is not None:
+                stats.add(CodewordStats(errors=0, erasures=0, parity=self.num_parity))
             return bytes(word[: self.k].astype(np.uint8))
 
-        # Erasure locator Gamma(x) = prod (1 - X_e x), ascending order.
-        gamma = [1]
-        for pos in erasures:
-            x_e = gf_pow(2, self.n - 1 - pos)
-            gamma = _asc_mul(gamma, [1, x_e])
+        try:
+            # Erasure locator Gamma(x) = prod (1 - X_e x), ascending order.
+            gamma = [1]
+            for pos in erasures:
+                x_e = gf_pow(2, self.n - 1 - pos)
+                gamma = _asc_mul(gamma, [1, x_e])
 
-        locator = self._berlekamp_massey(syndromes, gamma, len(erasures))
-        positions = self._chien_search(locator)
-        if positions is None:
-            raise RSDecodeError("error locator degree does not match its roots")
+            locator = self._berlekamp_massey(syndromes, gamma, len(erasures))
+            positions = self._chien_search(locator)
+            if positions is None:
+                raise RSDecodeError("error locator degree does not match its roots")
 
-        corrected = self._forney(word, syndromes, locator, positions)
-        if any(self._syndromes(corrected)):
-            raise RSDecodeError("correction failed (residual syndromes)")
+            corrected = self._forney(word, syndromes, locator, positions)
+            if any(self._syndromes(corrected)):
+                raise RSDecodeError("correction failed (residual syndromes)")
+        except RSDecodeError:
+            if stats is not None:
+                stats.add(
+                    CodewordStats(
+                        errors=0,
+                        erasures=len(erasures),
+                        parity=self.num_parity,
+                        failed=True,
+                    )
+                )
+            raise
+        if stats is not None:
+            erased = set(erasures)
+            errors = sum(1 for p in positions if p not in erased)
+            stats.add(
+                CodewordStats(
+                    errors=errors, erasures=len(erasures), parity=self.num_parity
+                )
+            )
         return bytes(corrected[: self.k].astype(np.uint8))
 
     def _berlekamp_massey(
@@ -292,11 +406,14 @@ class BlockCode:
         coded: bytes,
         payload_length: int,
         erasures: list[int] | None = None,
+        *,
+        stats: RSDecodeStats | None = None,
     ) -> bytes:
         """Decode back to exactly *payload_length* bytes.
 
         *erasures* indexes into the coded byte stream; indices are routed
-        to their chunk.  Raises :exc:`RSDecodeError` if any chunk fails.
+        to their chunk.  *stats* accumulates one :class:`CodewordStats`
+        per chunk.  Raises :exc:`RSDecodeError` if any chunk fails.
         """
         if len(coded) % self.n:
             raise ValueError("coded length is not a multiple of n")
@@ -307,7 +424,7 @@ class BlockCode:
         out = bytearray()
         for chunk_idx in range(len(coded) // self.n):
             chunk = coded[chunk_idx * self.n : (chunk_idx + 1) * self.n]
-            out.extend(rs.decode(chunk, per_chunk.get(chunk_idx)))
+            out.extend(rs.decode(chunk, per_chunk.get(chunk_idx), stats=stats))
         return bytes(out[:payload_length])
 
     def decode_lenient(
@@ -315,13 +432,16 @@ class BlockCode:
         coded: bytes,
         payload_length: int,
         erasures: list[int] | None = None,
+        *,
+        stats: RSDecodeStats | None = None,
     ) -> tuple[bytes, list[int]]:
         """Best-effort decode: failed chunks pass through uncorrected.
 
         Returns ``(payload, failed_chunk_indices)``.  A failed chunk
         contributes its systematic bytes verbatim (parity stripped), so a
         higher coding layer can treat those byte ranges as erasures —
-        the layering RDCode's tri-level scheme relies on.
+        the layering RDCode's tri-level scheme relies on.  *stats*
+        records failed chunks as ``failed=True`` codewords.
         """
         if len(coded) % self.n:
             raise ValueError("coded length is not a multiple of n")
@@ -334,7 +454,7 @@ class BlockCode:
         for chunk_idx in range(len(coded) // self.n):
             chunk = coded[chunk_idx * self.n : (chunk_idx + 1) * self.n]
             try:
-                out.extend(rs.decode(chunk, per_chunk.get(chunk_idx)))
+                out.extend(rs.decode(chunk, per_chunk.get(chunk_idx), stats=stats))
             except RSDecodeError:
                 failed.append(chunk_idx)
                 out.extend(chunk[: self.k])

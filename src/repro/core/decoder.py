@@ -28,8 +28,14 @@ import numpy as np
 
 from .. import telemetry
 from ..coding.crc import crc16
-from ..coding.reed_solomon import RSDecodeError
-from ..telemetry.metrics import DECODE_LATENCY_BUCKETS_MS, TRACKING_DT_BUCKETS
+from ..coding.reed_solomon import RSDecodeError, RSDecodeStats
+from ..telemetry import quality as quality_metrics
+from ..telemetry.events import EventSink
+from ..telemetry.metrics import (
+    DECODE_LATENCY_BUCKETS_MS,
+    TRACKING_DT_BUCKETS,
+    MetricsRegistry,
+)
 from ..telemetry.trace import Span, Tracer
 from .blocks import BlockLocalizer
 from .blur import sharpness_score
@@ -43,7 +49,7 @@ from .locators import (
     find_first_middle_locator,
     walk_locator_column,
 )
-from .palette import Color, symbols_to_bytes, tracking_bar_difference
+from .palette import Color, bytes_to_symbols, symbols_to_bytes, tracking_bar_difference
 from .recognition import ColorClassifier
 
 __all__ = [
@@ -326,6 +332,12 @@ class FrameDecoder:
         registry.histogram(
             "decode.latency_ms", DECODE_LATENCY_BUCKETS_MS, timing=True
         ).observe(root.duration_ms)
+        if registry:
+            quality_metrics.record_capture_quality(
+                registry,
+                locator_refinement=extraction.diagnostics.locator_refinement,
+                corner_purity=extraction.diagnostics.corner_purity,
+            )
         return extraction
 
     def _extract_stages(
@@ -711,7 +723,15 @@ class FrameDecoder:
             return own.map_ordered(images, chunksize=chunksize)
         workers = resolve_workers(workers)
         if workers <= 1 or len(images) <= 1 or effective_processes(workers) <= 1:
-            return [_decode_one_or_none(self, image) for image in images]
+            registry = telemetry.registry()
+            if not registry:
+                return [_decode_one_or_none(self, image) for image in images]
+            out: list[FrameResult | None] = []
+            for image in images:
+                result, det, timing = _decode_one_collected(self, image)
+                _fold_capture_metrics(registry, det, timing)
+                out.append(result)
+            return out
         pooled = DecodeService(self, pool=shared_pool(workers))
         return pooled.map_ordered(images, chunksize=chunksize)
 
@@ -756,16 +776,28 @@ class FrameDecoder:
         reader = trace if isinstance(trace, TraceReader) else TraceReader(
             trace, verify=verify
         )
-        telemetry.registry().counter("decode.trace_replays").inc()
+        # Run-shape metadata, not channel quality: timing-flagged so a
+        # replay's deterministic snapshot equals the live-decode one.
+        telemetry.registry().counter("decode.trace_replays", timing=True).inc()
         if service is not None:
             own = DecodeService(self, pool=service.pool, chunksize=chunksize)
             return self._decode_trace_pooled(reader, own, chunksize)
         workers = resolve_workers(workers)
         if workers <= 1 or len(reader) <= 1 or effective_processes(workers) <= 1:
-            return [
-                _decode_one_or_none(self, normalize_frame(frame.image))
-                for frame in reader
-            ]
+            registry = telemetry.registry()
+            if not registry:
+                return [
+                    _decode_one_or_none(self, normalize_frame(frame.image))
+                    for frame in reader
+                ]
+            out: list[FrameResult | None] = []
+            for frame in reader:
+                result, det, timing = _decode_one_collected(
+                    self, normalize_frame(frame.image)
+                )
+                _fold_capture_metrics(registry, det, timing)
+                out.append(result)
+            return out
         pooled = DecodeService(self, pool=shared_pool(workers))
         return self._decode_trace_pooled(reader, pooled, chunksize)
 
@@ -791,18 +823,27 @@ class FrameDecoder:
         if chunksize is None:
             chunksize = default_chunksize(len(reader), service.pool.requested)
         chunksize = max(1, int(chunksize))
+        registry = telemetry.registry()
+        collect = bool(registry)
         futures = []
         batch: list[np.ndarray] = []
         for frame in reader:
             batch.append(normalize_frame(frame.image))
             if len(batch) >= chunksize:
-                futures.append(service.submit(batch))
+                futures.append(service.submit(batch, with_metrics=collect))
                 batch = []
         if batch:
-            futures.append(service.submit(batch))
+            futures.append(service.submit(batch, with_metrics=collect))
         out: list[FrameResult | None] = []
         for future in futures:
-            out.extend(future.result())
+            payload = future.result()
+            if collect:
+                results, captures = payload
+                for det, timing in captures:
+                    _fold_capture_metrics(registry, det, timing)
+                out.extend(results)
+            else:
+                out.extend(payload)
         return out
 
 
@@ -840,6 +881,55 @@ def _decode_one_or_none(decoder: FrameDecoder, image: np.ndarray) -> FrameResult
         return decoder.decode_capture(image)
     except DecodeError:
         return None
+
+
+def _decode_one_collected(
+    decoder: FrameDecoder, image: np.ndarray
+) -> tuple[FrameResult | None, dict[str, Any], dict[str, Any]]:
+    """Decode one capture into a private registry (module level => picklable).
+
+    Returns ``(result, deterministic_snapshot, timing_only_snapshot)``.
+    The per-capture snapshot is the worker-count-independent fold unit
+    for quality metrics: both the serial path and the pooled workers
+    collect each capture into a fresh registry and the caller folds the
+    snapshots in capture order, so the merged result — float histogram
+    sums included — is bit-identical no matter how captures were
+    chunked across processes.  Tracing and event emission stay on the
+    ambient collectors.
+    """
+    local = MetricsRegistry()
+    ambient_sink = telemetry.sink()
+    with telemetry.scoped(
+        tracer=telemetry.active_tracer(),
+        registry=local,
+        sink=ambient_sink if isinstance(ambient_sink, EventSink) else None,
+    ):
+        result = _decode_one_or_none(decoder, image)
+    det = local.snapshot(include_timing=False)
+    full = local.snapshot()
+    timing = {
+        section: {
+            key: value
+            for key, value in entries.items()
+            if key not in det.get(section, {})
+        }
+        for section, entries in full.items()
+    }
+    return result, det, timing
+
+
+def _fold_capture_metrics(
+    registry: Any, det: dict[str, Any], timing: dict[str, Any]
+) -> None:
+    """Fold one capture's collected snapshots into *registry*.
+
+    The timing-only remainder (e.g. ``decode.latency_ms``) is merged
+    flagged as timing so it survives into ``metrics.json`` without
+    contaminating deterministic ``include_timing=False`` snapshots.
+    """
+    registry.merge_snapshot(det)
+    if any(timing.values()):
+        registry.merge_snapshot(timing, timing=True)
 
 
 def assemble_frame(
@@ -883,16 +973,23 @@ def _assemble_frame(
     byte_erasures = sorted(set(np.flatnonzero(erased_symbols) // 4))
 
     message_len = config.message_bytes_per_frame
+    registry = telemetry.registry()
+    stats = RSDecodeStats() if registry else None
     try:
         interleaver = config.interleaver
         coded = interleaver.unscramble(wire)
         erasures = interleaver.map_erasures(list(byte_erasures), len(wire))
-        message = config.block_code.decode(coded, message_len, erasures=erasures)
+        message = config.block_code.decode(
+            coded, message_len, erasures=erasures, stats=stats
+        )
     except RSDecodeError:
+        # Only the successful attempt's accounting is folded into the
+        # quality metrics, so start the retry with fresh stats.
+        stats = RSDecodeStats() if registry else None
         try:
             # Fallback: erasure info can exceed the budget even when the
             # actual error count is correctable; retry errors-only.
-            message = config.block_code.decode(coded, message_len)
+            message = config.block_code.decode(coded, message_len, stats=stats)
         except RSDecodeError as exc:
             return FrameResult(
                 sequence=header.sequence,
@@ -902,6 +999,8 @@ def _assemble_frame(
                 erased_bytes=len(byte_erasures),
                 failure=f"RS decode failed: {exc}",
             )
+        if registry:
+            registry.counter("quality.rs_erasure_fallbacks").inc()
     except _UNEXPECTED_ERRORS as exc:
         # A symbol vector the coding layer cannot even deinterleave
         # (wrong length for the configured code, degenerate geometry
@@ -918,6 +1017,17 @@ def _assemble_frame(
     payload, tail = message[:-2], message[-2:]
     checksum = (tail[0] << 8) | tail[1]
     ok = checksum == crc16(payload) and checksum == header.payload_checksum
+    if registry and stats is not None:
+        quality_metrics.record_rs_stats(registry, stats)
+        if ok:
+            # Ground truth for the confusion matrix: re-encode the
+            # CRC-verified message back onto the wire (mirrors the
+            # encoder: block-code then interleave) and compare against
+            # the pre-correction observed symbols.
+            reencoded = config.interleaver.scramble(config.block_code.encode(message))
+            quality_metrics.record_confusion(
+                registry, bytes_to_symbols(reencoded), active
+            )
     # The payload is returned even when verification fails: the paper's
     # decoding-rate metric counts correctly decoded data inside failed
     # frames, and the transfer layer NACKs on `ok` alone.

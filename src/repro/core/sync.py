@@ -149,9 +149,20 @@ class StreamReassembler:
         return out
 
     def _finalize(self, seq: int) -> FrameResult:
+        registry = telemetry.registry()
+        if registry:
+            # Coverage must be read before _finalize_inner pops the
+            # pending frame; it is the sync-quality signal — how much of
+            # the frame the rolling-shutter reassembly actually saw.
+            pending = self._pending.get(seq)
+            if pending is not None:
+                from ..telemetry import quality as quality_metrics
+
+                quality_metrics.record_sync_coverage(
+                    registry, pending.coverage(self.config.layout.symbol_rows)
+                )
         with telemetry.span("sync.finalize"):
             result = self._finalize_inner(seq)
-        registry = telemetry.registry()
         if registry:
             registry.counter("sync.frames_finalized").inc()
             if not result.ok:

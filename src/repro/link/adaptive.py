@@ -7,7 +7,12 @@ data should be put in each color barcode frame".
 
 :class:`AdaptiveConfigurator` maps a window of accelerometer magnitudes
 to a block size between B_min and B_max: the shakier the devices, the
-larger (and fewer) the blocks, trading capacity for robustness.
+larger (and fewer) the blocks, trading capacity for robustness.  A
+:class:`~repro.telemetry.quality.QualityFeedback` summary (RS margins,
+symbol/CRC loss rates from the channel-quality observatory) feeds the
+same interpolation, so a channel that is eating its correction budget
+pushes the block size up even when the devices are perfectly still —
+the *application-driven* half of the paper's adaptation story.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.layout import FrameLayout
+from ..telemetry.quality import QualityFeedback
 
 __all__ = ["AdaptiveConfigurator", "BlockSizeDecision"]
 
@@ -28,6 +34,9 @@ class BlockSizeDecision:
     block_px: int
     mobility_score: float  # mean accelerometer magnitude of the window
     layout: FrameLayout
+    #: Channel pressure in [0, 1] from the quality feedback (0.0 when
+    #: the decision was made from motion alone).
+    quality_pressure: float = 0.0
 
 
 class AdaptiveConfigurator:
@@ -70,21 +79,35 @@ class AdaptiveConfigurator:
         self.low_threshold = low_threshold
         self.high_threshold = high_threshold
 
-    def decide(self, accelerometer_window: np.ndarray) -> BlockSizeDecision:
+    def decide(
+        self,
+        accelerometer_window: np.ndarray,
+        quality: QualityFeedback | None = None,
+    ) -> BlockSizeDecision:
         """Pick the block size for the *next* stream segment.
 
         The decision happens before data mapping: the returned layout's
         capacity determines how the payload is segmented into frames.
+
+        *quality*, when given, is the receiver's channel-quality summary
+        (see :meth:`QualityFeedback.from_summary`); its ``pressure()``
+        competes with the motion score, and whichever demands the larger
+        block wins.  A channel burning through its RS correction budget
+        therefore backs off even on a tripod.
         """
         window = np.asarray(accelerometer_window, dtype=np.float64)
         if window.size == 0:
             raise ValueError("accelerometer window is empty")
         score = float(np.mean(np.abs(window)))
-        t = np.clip(
-            (score - self.low_threshold) / (self.high_threshold - self.low_threshold),
-            0.0,
-            1.0,
+        t_motion = float(
+            np.clip(
+                (score - self.low_threshold) / (self.high_threshold - self.low_threshold),
+                0.0,
+                1.0,
+            )
         )
+        pressure = quality.pressure() if quality is not None else 0.0
+        t = max(t_motion, pressure)
         block = int(round(self.min_block_px + t * (self.max_block_px - self.min_block_px)))
         height, width = self.screen_px
         layout = FrameLayout(
@@ -92,4 +115,9 @@ class AdaptiveConfigurator:
             grid_cols=max(width // block, 44),
             block_px=block,
         )
-        return BlockSizeDecision(block_px=block, mobility_score=score, layout=layout)
+        return BlockSizeDecision(
+            block_px=block,
+            mobility_score=score,
+            layout=layout,
+            quality_pressure=pressure,
+        )

@@ -201,9 +201,37 @@ class TransferSession:
         results.extend(reassembler.flush())
         for result in results:
             telemetry.emit("frame", sequence=result.sequence, ok=result.ok)
-        stats.frames_failed += sum(1 for r in results if not r.ok)
+        crc_failures = sum(1 for r in results if not r.ok)
+        ok_payload = sum(r.payload_bytes for r in results if r.ok)
+        stats.frames_failed += crc_failures
         assembler.add_all(results)
         stats.display_time_s += schedule.duration
+
+        # Per-round quality sample: effective goodput over *simulated*
+        # display time (RB004 — no wall clock), plus the CRC outcome.
+        # The cumulative t_display_s timestamps the Chrome-trace counter
+        # track for the goodput timeline.
+        registry = telemetry.registry()
+        kbps = 0.0
+        if registry:
+            from ..telemetry import quality as quality_metrics
+
+            kbps = quality_metrics.record_round_goodput(
+                registry,
+                payload_bytes=ok_payload,
+                display_s=schedule.duration,
+                crc_failures=crc_failures,
+            )
+        elif schedule.duration > 0:
+            kbps = 8.0 * ok_payload / schedule.duration / 1000.0
+        telemetry.emit(
+            "quality",
+            round=stats.rounds,
+            goodput_kbps=round(kbps, 6),
+            crc_failures=crc_failures,
+            payload_bytes=ok_payload,
+            t_display_s=round(stats.display_time_s, 6),
+        )
 
     def link_config_brightness(self) -> float:
         """Screen brightness for this session (hook for sweeps)."""

@@ -51,6 +51,7 @@ from typing import Any, Callable, Iterable, Optional, Sequence
 
 import numpy as np
 
+from .. import telemetry
 from .shm import FrameRef, FrameRing, RingReader, inline_ref
 
 __all__ = [
@@ -193,6 +194,7 @@ def _worker_main(
     if initializer is not None:
         initializer(*initargs)
     reader = RingReader()
+    worker = multiprocessing.current_process().name
     while True:
         item = jobs.get()
         if item is None:
@@ -205,10 +207,15 @@ def _worker_main(
                 frames = [reader.view(ref) for ref in refs]
                 out = fn(frames, **kwargs)
                 del frames  # drop shm views before the slot is reclaimed
-            results.put((job_id, True, out))
+            results.put((job_id, True, out, worker))
         except Exception as exc:
             results.put(
-                (job_id, False, (type(exc).__name__, str(exc), traceback.format_exc()))
+                (
+                    job_id,
+                    False,
+                    (type(exc).__name__, str(exc), traceback.format_exc()),
+                    worker,
+                )
             )
     reader.close()
 
@@ -336,6 +343,29 @@ class WorkerPool:
     def ring(self) -> Optional[FrameRing]:
         return self._ring_box[0] if self._ring_box else None
 
+    @property
+    def ring_occupancy(self) -> int:
+        """Shared-memory frame slots currently held by in-flight jobs."""
+        return self._slots_in_flight
+
+    def _record_health(self) -> None:
+        """Pool-health gauges for the live metrics registry, if any.
+
+        All pool-health metrics are flagged ``timing=True``: queue depth
+        and slot occupancy are scheduling artifacts that depend on the
+        worker count and host load, so they must never leak into
+        deterministic (``include_timing=False``) snapshots — they are
+        for ``metrics.json`` / ``repro telemetry report`` only.
+        """
+        registry = telemetry.registry()
+        if not registry:
+            return
+        registry.gauge("serve.pool.pending_jobs", timing=True).set(self.pending_jobs)
+        registry.gauge("serve.pool.ring_occupancy", timing=True).set(
+            self._slots_in_flight
+        )
+        registry.gauge("serve.pool.ring_slots", timing=True).set(self._ring_slots)
+
     # -- submission ------------------------------------------------------
 
     def submit(
@@ -396,6 +426,10 @@ class WorkerPool:
                 self._job_slots.pop(job_id, None)
             self._release_slots(slots)
             raise
+        registry = telemetry.registry()
+        if registry:
+            registry.counter("serve.pool.jobs_submitted", timing=True).inc()
+        self._record_health()
         return future
 
     def map_ordered(
@@ -578,11 +612,18 @@ class WorkerPool:
                 continue
             except (OSError, ValueError):  # queue closed under us
                 return
-            job_id, ok, payload = item
+            job_id, ok, payload, *rest = item
+            worker = str(rest[0]) if rest else "unknown"
             with self._lock:
                 future = self._pending.pop(job_id, None)
                 slots = self._job_slots.pop(job_id, [])
             self._release_slots(slots)
+            registry = telemetry.registry()
+            if registry:
+                registry.counter(
+                    "serve.pool.jobs_completed", timing=True, worker=worker
+                ).inc()
+            self._record_health()
             if future is None or future.done():
                 continue
             if ok:

@@ -22,10 +22,11 @@ elsewhere:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Optional, Sequence, Union
 
 import numpy as np
 
+from .. import telemetry
 from .pool import WorkerPool, default_chunksize, shared_pool
 
 if TYPE_CHECKING:
@@ -35,19 +36,41 @@ if TYPE_CHECKING:
 
 __all__ = ["DecodeService", "decode_batch"]
 
+#: One capture's collected metrics: (deterministic, timing-only) snapshots.
+CaptureMetrics = tuple[dict[str, Any], dict[str, Any]]
+BatchResult = Union[
+    list[Optional["FrameResult"]],
+    tuple[list[Optional["FrameResult"]], list[CaptureMetrics]],
+]
+
 
 def decode_batch(
-    frames: Sequence[np.ndarray], *, decoder: "FrameDecoder"
-) -> list[Optional["FrameResult"]]:
+    frames: Sequence[np.ndarray],
+    *,
+    decoder: "FrameDecoder",
+    with_metrics: bool = False,
+) -> BatchResult:
     """Worker-side batch decode (module level => picklable).
 
     ``frames`` arrive as zero-copy shared-memory views (or inline
     copies); undecodable captures map to ``None`` — the same contract
-    as serial ``decode_stream``.
+    as serial ``decode_stream``.  With ``with_metrics=True`` each
+    capture decodes under a private registry and the return value is
+    ``(results, per_capture_snapshots)``: the caller folds the
+    snapshots in capture order, which keeps merged quality metrics
+    bit-identical to the serial path for any worker count.
     """
-    from ..core.decoder import _decode_one_or_none
+    from ..core.decoder import _decode_one_collected, _decode_one_or_none
 
-    return [_decode_one_or_none(decoder, frame) for frame in frames]
+    if not with_metrics:
+        return [_decode_one_or_none(decoder, frame) for frame in frames]
+    results: list[Optional["FrameResult"]] = []
+    captures: list[CaptureMetrics] = []
+    for frame in frames:
+        result, det, timing = _decode_one_collected(decoder, frame)
+        results.append(result)
+        captures.append((det, timing))
+    return results, captures
 
 
 class DecodeService:
@@ -120,16 +143,23 @@ class DecodeService:
     # -- decoding --------------------------------------------------------
 
     def submit(
-        self, frames: Sequence[np.ndarray]
-    ) -> "Future[list[Optional[FrameResult]]]":
+        self, frames: Sequence[np.ndarray], *, with_metrics: bool = False
+    ) -> "Future[Any]":
         """Queue one batch of frames; resolves to per-frame results.
 
         Frames are copied into shared-memory slots *before* this call
         returns (blocking for slot/queue capacity — that is the
         back-pressure), so the caller's arrays are free to be reused.
+        With ``with_metrics=True`` the future resolves to ``(results,
+        per_capture_snapshots)`` instead (see :func:`decode_batch`).
         """
         arrays = [np.asarray(getattr(f, "image", f)) for f in frames]
-        return self._pool.submit(decode_batch, frames=arrays, decoder=self.decoder)
+        return self._pool.submit(
+            decode_batch,
+            frames=arrays,
+            decoder=self.decoder,
+            with_metrics=with_metrics,
+        )
 
     def map_ordered(
         self,
@@ -154,13 +184,26 @@ class DecodeService:
         if chunksize is None:
             chunksize = default_chunksize(len(images), self._pool.requested)
         chunksize = max(1, int(chunksize))
+        registry = telemetry.registry()
+        collect = bool(registry)
+        if collect:
+            from ..core.decoder import _fold_capture_metrics
         futures = [
-            self.submit(images[start : start + chunksize])
+            self.submit(images[start : start + chunksize], with_metrics=collect)
             for start in range(0, len(images), chunksize)
         ]
         out: list[Optional["FrameResult"]] = []
         for future in futures:
-            out.extend(future.result(timeout))
+            payload = future.result(timeout)
+            if collect:
+                results, captures = payload
+                # Folding per capture, in submission order, keeps the
+                # merged metrics bit-identical to the serial decode.
+                for det, timing in captures:
+                    _fold_capture_metrics(registry, det, timing)
+                out.extend(results)
+            else:
+                out.extend(payload)
         return out
 
     def decode_trace(

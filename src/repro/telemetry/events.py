@@ -55,6 +55,10 @@ EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
     # Periodic campaign heartbeat: one per completed trial, carrying
     # the worker's running progress for `repro telemetry tail`.
     "progress": ("scenario", "seed", "completed"),
+    # Per-round channel-quality sample from the link session;
+    # t_display_s is cumulative *simulated* display time (RB004), the
+    # timestamp of the Chrome-trace goodput counter track.
+    "quality": ("round", "goodput_kbps", "crc_failures", "t_display_s"),
 }
 
 

@@ -214,23 +214,37 @@ class MetricsRegistry:
             },
         }
 
-    def merge_snapshot(self, snap: dict[str, Any]) -> "MetricsRegistry":
-        """Fold one snapshot into this registry; returns self."""
+    def merge_snapshot(
+        self, snap: dict[str, Any], *, timing: bool = False
+    ) -> "MetricsRegistry":
+        """Fold one snapshot into this registry; returns self.
+
+        With ``timing=True`` every merged key is flagged as a timing
+        metric here, so a snapshot carrying wall-clock-derived metrics
+        (e.g. the timing-only remainder of a per-capture collection) can
+        be folded without contaminating ``snapshot(include_timing=False)``.
+        """
         for key, value in snap.get("counters", {}).items():
             # Keys arrive with labels already flattened in; store verbatim.
             metric = self._counters.get(key)
             if metric is None:
                 metric = self._counters[key] = Counter()
+            if timing:
+                self._timing.add(key)
             metric.inc(value)
         for key, value in snap.get("gauges", {}).items():
             gauge = self._gauges.get(key)
             if gauge is None:
                 gauge = self._gauges[key] = Gauge()
+            if timing:
+                self._timing.add(key)
             gauge.set(value)
         for key, doc in snap.get("histograms", {}).items():
             hist = self._histograms.get(key)
             if hist is None:
                 hist = self._histograms[key] = Histogram(doc["bounds"])
+            if timing:
+                self._timing.add(key)
             if list(hist.bounds) != [float(b) for b in doc["bounds"]]:
                 raise ValueError(f"histogram {key!r}: mismatched bucket bounds in merge")
             hist.counts = [a + int(b) for a, b in zip(hist.counts, doc["counts"])]

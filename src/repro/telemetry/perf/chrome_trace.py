@@ -5,7 +5,11 @@ behind — ``trace.json`` trees and/or flattened ``span`` events inside
 ``events-*.jsonl`` worker shards — into one Perfetto/``chrome://tracing``
 loadable document: a JSON object whose ``traceEvents`` list holds one
 complete (``"ph": "X"``) event per span plus one ``process_name``
-metadata event per source.
+metadata event per source.  Per-round ``quality`` events (goodput /
+CRC-failure samples from the link session) become counter
+(``"ph": "C"``) tracks, timestamped by cumulative *simulated* display
+time — so the goodput timeline lines up with nothing but itself, as
+RB004 demands.
 
 pid/tid mapping: every input *source* (one shard file, one trace tree)
 becomes its own pid, numbered in sorted-label order so the export is a
@@ -45,6 +49,9 @@ class TraceSource:
     label: str
     #: Flat span records: name, start_ms, duration_ms, depth, status.
     spans: list[dict[str, Any]] = field(default_factory=list)
+    #: Counter samples: ``{"t_ms": float, "values": {name: number}}``
+    #: (from per-round ``quality`` events; t_ms is simulated time).
+    counters: list[dict[str, Any]] = field(default_factory=list)
     #: Run metadata from the shard's leading ``run`` event, if any.
     meta: dict[str, Any] = field(default_factory=dict)
 
@@ -98,6 +105,16 @@ def _source_from_events_jsonl(path: Path) -> TraceSource:
                     if extra in obj:
                         record[extra] = obj[extra]
                 source.spans.append(record)
+            elif event == "quality":
+                source.counters.append(
+                    {
+                        "t_ms": float(obj.get("t_display_s", 0.0)) * 1000.0,
+                        "values": {
+                            "goodput_kbps": float(obj.get("goodput_kbps", 0.0)),
+                            "crc_failures": int(obj.get("crc_failures", 0)),
+                        },
+                    }
+                )
     return source
 
 
@@ -131,7 +148,7 @@ def load_trace_sources(inputs: Sequence[str | Path]) -> list[TraceSource]:
             source = _source_from_trace_json(path)
         else:
             raise ValueError(f"unrecognized trace input (want .json/.jsonl/dir): {path}")
-        if source.spans:
+        if source.spans or source.counters:
             sources.append(source)
     sources.sort(key=lambda s: s.label)
     return sources
@@ -184,6 +201,18 @@ def to_chrome_trace(sources: Sequence[TraceSource]) -> dict[str, Any]:
                     "args": args,
                 }
             )
+        for sample in source.counters:
+            events.append(
+                {
+                    "ph": "C",
+                    "pid": pid,
+                    "tid": 1,
+                    "name": "link.quality",
+                    "cat": "quality",
+                    "ts": round(float(sample["t_ms"]) * 1000.0, 1),
+                    "args": dict(sample["values"]),
+                }
+            )
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
@@ -212,8 +241,8 @@ def validate_chrome_trace(doc: object) -> list[str]:
 
     Pins the subset of the ``trace_event`` spec the exporter relies on:
     a ``traceEvents`` list whose entries are ``X`` (complete) events
-    with name/ts/dur/pid/tid or ``M`` metadata events, with
-    non-negative numeric timestamps.
+    with name/ts/dur/pid/tid, ``C`` (counter) events with numeric args,
+    or ``M`` metadata events, with non-negative numeric timestamps.
     """
     problems: list[str] = []
     if not isinstance(doc, dict):
@@ -231,6 +260,21 @@ def validate_chrome_trace(doc: object) -> list[str]:
         if ph == "M":
             if "name" not in event or "pid" not in event:
                 problems.append(f"traceEvents[{i}]: metadata event missing name/pid")
+            continue
+        if ph == "C":
+            for key in ("name", "ts", "pid", "tid"):
+                if key not in event:
+                    problems.append(f"traceEvents[{i}]: counter event missing {key!r}")
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"traceEvents[{i}]: 'ts' must be a number >= 0")
+            args = event.get("args")
+            if not isinstance(args, dict) or not all(
+                isinstance(v, (int, float)) for v in args.values()
+            ):
+                problems.append(
+                    f"traceEvents[{i}]: counter args must be numeric name->value"
+                )
             continue
         if ph != "X":
             problems.append(f"traceEvents[{i}]: unsupported phase {ph!r}")

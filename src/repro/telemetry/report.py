@@ -8,6 +8,8 @@ directory — ``trace.json``, ``metrics.json`` and the
   name, aggregated over the whole trace tree);
 * a decode failure-stage breakdown (from the
   ``decode.failures{stage=...}`` counter family);
+* pool health (job-queue depth and shm frame-ring occupancy gauges plus
+  per-worker completion counters from the ``serve.pool.*`` family);
 * event counts by type.
 
 ``build_report`` returns a plain dict; ``format_report`` renders the
@@ -71,12 +73,26 @@ def build_report(telemetry_dir: str | Path) -> dict[str, Any]:
         name = obj.get("event", "?")
         event_counts[name] = event_counts.get(name, 0) + 1
 
+    gauges = metrics.get("gauges", {})
+    worker_prefix = "serve.pool.jobs_completed{worker="
+    pool = {
+        "gauges": {k: v for k, v in sorted(gauges.items()) if k.startswith("serve.pool.")},
+        "jobs_submitted": counters.get("serve.pool.jobs_submitted", 0),
+        "workers": {
+            key[len(worker_prefix):-1]: value
+            for key, value in sorted(counters.items())
+            if key.startswith(worker_prefix)
+        },
+    }
+
     return {
         "telemetry_dir": str(telemetry_dir),
         "stages": {name: stage_stats[name] for name in sorted(stage_stats)},
         "failure_stages": failure_stages,
         "counters": counters,
+        "gauges": gauges,
         "histograms": metrics.get("histograms", {}),
+        "pool": pool,
         "event_counts": dict(sorted(event_counts.items())),
         "events_total": len(events),
     }
@@ -108,6 +124,16 @@ def format_report(report: dict[str, Any]) -> str:
         lines.append("decode failures by stage: none recorded")
 
     lines.append("")
+    pool = report.get("pool") or {}
+    if pool.get("gauges") or pool.get("workers"):
+        lines.append("pool health")
+        for key, value in pool.get("gauges", {}).items():
+            lines.append(f"  {key[len('serve.pool.'):]:<20} {value}")
+        if pool.get("jobs_submitted"):
+            lines.append(f"  {'jobs submitted':<20} {pool['jobs_submitted']}")
+        for worker, count in pool.get("workers", {}).items():
+            lines.append(f"  {worker:<20} {count} job(s) completed")
+        lines.append("")
     if report["event_counts"]:
         lines.append(f"events ({report['events_total']} total)")
         for name, count in report["event_counts"].items():

@@ -1,0 +1,171 @@
+"""RS decode stats side-channel: corrected/erasure accounting and margins.
+
+The observatory's RS correction margin rests on :class:`RSDecodeStats`
+reporting exactly what the decoder did — these tests pin the counts
+against hand-constructed error patterns and pin the default
+``stats=None`` path as byte-identical to not asking.
+"""
+
+import numpy as np
+import pytest
+
+from repro.coding.reed_solomon import (
+    BlockCode,
+    CodewordStats,
+    ReedSolomon,
+    RSDecodeError,
+    RSDecodeStats,
+)
+
+
+@pytest.fixture(scope="module")
+def rs32():
+    return ReedSolomon(32, 24)
+
+
+@pytest.fixture(scope="module")
+def msg24():
+    return bytes(range(24))
+
+
+class TestCodewordStats:
+    def test_budget_and_margin_arithmetic(self):
+        cw = CodewordStats(errors=2, erasures=3, parity=8)
+        assert cw.corrected == 5
+        assert cw.budget_used == 7
+        assert cw.margin == pytest.approx(1.0 - 7 / 8)
+
+    def test_failed_codeword_has_zero_margin(self):
+        assert CodewordStats(errors=0, erasures=4, parity=8, failed=True).margin == 0.0
+
+    def test_clean_codeword_full_margin(self):
+        assert CodewordStats(errors=0, erasures=0, parity=8).margin == 1.0
+
+
+class TestDecodeStats:
+    def test_clean_word_records_zero_corrections(self, rs32, msg24):
+        stats = RSDecodeStats()
+        assert rs32.decode(rs32.encode(msg24), stats=stats) == msg24
+        assert len(stats.codewords) == 1
+        cw = stats.codewords[0]
+        assert (cw.errors, cw.erasures, cw.parity, cw.failed) == (0, 0, 8, False)
+        assert cw.margin == 1.0
+        assert stats.clean_codewords == 1
+
+    def test_clean_word_with_erasure_hints_spends_nothing(self, rs32, msg24):
+        # All-zero syndromes short-circuit before the erasure machinery:
+        # offered hints on a valid codeword must not count as consumed.
+        stats = RSDecodeStats()
+        rs32.decode(rs32.encode(msg24), erasures=[0, 5], stats=stats)
+        assert stats.codewords[0].erasures == 0
+        assert stats.codewords[0].margin == 1.0
+
+    @pytest.mark.parametrize("num_errors", [1, 2, 3, 4])
+    def test_error_counts_pinned(self, rs32, msg24, num_errors):
+        word = bytearray(rs32.encode(msg24))
+        for pos in range(num_errors):
+            word[3 * pos] ^= 0x5A  # distinct positions, guaranteed changes
+        stats = RSDecodeStats()
+        assert rs32.decode(bytes(word), stats=stats) == msg24
+        cw = stats.codewords[0]
+        assert cw.errors == num_errors
+        assert cw.erasures == 0
+        assert cw.budget_used == 2 * num_errors
+        # parity = 8, so margins are exact binary fractions.
+        assert cw.margin == 1.0 - 2 * num_errors / 8
+
+    @pytest.mark.parametrize("num_erasures", [1, 4, 8])
+    def test_erasure_counts_pinned(self, rs32, msg24, num_erasures):
+        word = bytearray(rs32.encode(msg24))
+        positions = list(range(0, 2 * num_erasures, 2))
+        for pos in positions:
+            word[pos] ^= 0xFF
+        stats = RSDecodeStats()
+        assert rs32.decode(bytes(word), erasures=positions, stats=stats) == msg24
+        cw = stats.codewords[0]
+        assert cw.errors == 0
+        assert cw.erasures == num_erasures
+        assert cw.budget_used == num_erasures
+        assert cw.margin == 1.0 - num_erasures / 8
+
+    def test_mixed_errors_and_erasures(self, rs32, msg24):
+        word = bytearray(rs32.encode(msg24))
+        word[0] ^= 0x11  # undeclared error
+        word[7] ^= 0x22  # declared erasures
+        word[13] ^= 0x33
+        stats = RSDecodeStats()
+        assert rs32.decode(bytes(word), erasures=[7, 13], stats=stats) == msg24
+        cw = stats.codewords[0]
+        assert (cw.errors, cw.erasures) == (1, 2)
+        assert cw.budget_used == 4
+        assert cw.margin == 0.5
+
+    def test_too_many_erasures_recorded_as_failed(self, rs32, msg24):
+        word = rs32.encode(msg24)
+        stats = RSDecodeStats()
+        with pytest.raises(RSDecodeError):
+            rs32.decode(word, erasures=list(range(9)), stats=stats)
+        assert stats.failed_codewords == 1
+        cw = stats.codewords[0]
+        assert cw.failed and cw.erasures == 9 and cw.margin == 0.0
+
+    def test_undecodable_word_recorded_as_failed(self, rs32, msg24):
+        word = bytearray(rs32.encode(msg24))
+        for pos in range(6):  # beyond the 4-error capacity
+            word[pos] ^= 0xA5
+        stats = RSDecodeStats()
+        with pytest.raises(RSDecodeError):
+            rs32.decode(bytes(word), stats=stats)
+        assert stats.failed_codewords == 1
+        # A failed attempt contributes nothing to the success aggregates.
+        assert stats.corrected_symbols == 0
+        assert stats.erasures == 0
+
+    def test_default_path_byte_identical(self, rs32, msg24):
+        word = bytearray(rs32.encode(msg24))
+        word[2] ^= 0x0F
+        word[20] ^= 0xF0
+        assert rs32.decode(bytes(word)) == rs32.decode(
+            bytes(word), stats=RSDecodeStats()
+        )
+
+
+class TestBlockCodeStats:
+    def test_one_codeword_stat_per_chunk(self):
+        code = BlockCode(n=32, k=24)
+        payload = bytes(range(48))  # two chunks
+        coded = bytearray(code.encode(payload))
+        coded[1] ^= 0x42  # error in chunk 0
+        stats = RSDecodeStats()
+        assert code.decode(bytes(coded), len(payload), stats=stats) == payload
+        assert len(stats.codewords) == 2
+        assert stats.corrected_symbols == 1
+        assert stats.clean_codewords == 1
+
+    def test_erasures_routed_to_their_chunk(self):
+        code = BlockCode(n=32, k=24)
+        payload = bytes(range(48))
+        coded = bytearray(code.encode(payload))
+        coded[33] ^= 0x42  # byte 1 of chunk 1
+        stats = RSDecodeStats()
+        assert code.decode(bytes(coded), len(payload), erasures=[33], stats=stats) == payload
+        assert [cw.erasures for cw in stats.codewords] == [0, 1]
+
+    def test_lenient_records_failed_chunks(self):
+        code = BlockCode(n=32, k=24)
+        payload = bytes(range(48))
+        coded = bytearray(code.encode(payload))
+        for pos in range(0, 12, 2):  # kill chunk 0 outright
+            coded[pos] ^= 0x99
+        stats = RSDecodeStats()
+        recovered, failed = code.decode_lenient(bytes(coded), len(payload), stats=stats)
+        assert failed == [0]
+        assert recovered[24:] == payload[24:]
+        assert stats.failed_codewords == 1
+        assert len(stats.codewords) == 2
+
+    def test_stats_accumulate_across_calls(self, rs32, msg24):
+        stats = RSDecodeStats()
+        rs32.decode(rs32.encode(msg24), stats=stats)
+        rs32.decode(rs32.encode(msg24), stats=stats)
+        assert len(stats.codewords) == 2

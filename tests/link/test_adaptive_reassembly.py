@@ -6,6 +6,7 @@ import pytest
 from repro.core.decoder import FrameResult
 from repro.link.adaptive import AdaptiveConfigurator
 from repro.link.reassembly import PayloadAssembler
+from repro.telemetry.quality import QualityFeedback
 
 
 class TestAdaptiveConfigurator:
@@ -49,6 +50,54 @@ class TestAdaptiveConfigurator:
             AdaptiveConfigurator(low_threshold=5.0, high_threshold=1.0)
         with pytest.raises(ValueError):
             AdaptiveConfigurator(min_block_px=20, max_block_px=10)
+
+
+class TestQualityDrivenAdaptation:
+    def test_no_feedback_matches_motion_only(self):
+        cfg = AdaptiveConfigurator()
+        window = np.full(8, 2.0)
+        assert cfg.decide(window).block_px == cfg.decide(window, quality=None).block_px
+        assert cfg.decide(window).quality_pressure == 0.0
+
+    def test_bad_channel_coarsens_a_still_device(self):
+        cfg = AdaptiveConfigurator()
+        still = np.zeros(16)
+        stressed = QualityFeedback(rs_margin_mean=0.0)
+        assert cfg.decide(still).block_px == cfg.min_block_px
+        assert cfg.decide(still, quality=stressed).block_px == cfg.max_block_px
+
+    def test_healthy_channel_changes_nothing(self):
+        cfg = AdaptiveConfigurator()
+        healthy = QualityFeedback(
+            rs_margin_mean=1.0, symbol_error_rate=0.0, frame_failure_rate=0.0
+        )
+        for score in (0.0, 2.0, 10.0):
+            window = np.full(8, score)
+            assert cfg.decide(window, quality=healthy).block_px == cfg.decide(window).block_px
+
+    def test_larger_demand_wins(self):
+        # Motion already demands the max block; mild channel pressure
+        # must not shrink it back.
+        cfg = AdaptiveConfigurator()
+        mild = QualityFeedback(rs_margin_mean=0.9)
+        decision = cfg.decide(np.full(8, 10.0), quality=mild)
+        assert decision.block_px == cfg.max_block_px
+        assert decision.quality_pressure == pytest.approx(0.1)
+
+    def test_decision_carries_pressure(self):
+        cfg = AdaptiveConfigurator()
+        feedback = QualityFeedback(symbol_error_rate=0.05)
+        decision = cfg.decide(np.zeros(8), quality=feedback)
+        assert decision.quality_pressure == pytest.approx(0.5)
+        assert decision.mobility_score == 0.0
+
+    def test_from_summary_roundtrip(self):
+        cfg = AdaptiveConfigurator()
+        summary = {"rs_margin_mean": 0.25, "symbol_error_rate": 0.0,
+                   "frame_failure_rate": 0.0}
+        decision = cfg.decide(np.zeros(8), quality=QualityFeedback.from_summary(summary))
+        assert decision.quality_pressure == pytest.approx(0.75)
+        assert decision.block_px == 14  # 8 + 0.75 * (16 - 8)
 
 
 def ok_frame(seq, payload=b"x", last=False):

@@ -139,3 +139,51 @@ class TestValidate:
                               "pid": 1, "tid": 1}]}
         ) != []
         assert validate_chrome_trace({"traceEvents": [{"ph": "B", "name": "a"}]}) != []
+
+
+def _write_quality_shard(path, samples):
+    with open(path, "w") as fh:
+        fh.write(json.dumps({"event": "run", "seq": 0, "meta": {}}) + "\n")
+        for i, (t_s, kbps, crc) in enumerate(samples, start=1):
+            fh.write(json.dumps({
+                "event": "quality", "seq": i, "round": i,
+                "goodput_kbps": kbps, "crc_failures": crc, "t_display_s": t_s,
+            }) + "\n")
+
+
+class TestCounterTrack:
+    def test_quality_events_become_counter_events(self, tmp_path):
+        shard = tmp_path / "events-1.jsonl"
+        _write_quality_shard(shard, [(0.1, 12.5, 0), (0.2, 6.25, 1)])
+        sources = load_trace_sources([shard])
+        assert len(sources) == 1 and sources[0].counters
+        doc = to_chrome_trace(sources)
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert len(counters) == 2
+        first = counters[0]
+        assert first["name"] == "link.quality"
+        # t_display_s (seconds) -> trace microseconds.
+        assert first["ts"] == pytest.approx(0.1 * 1e6)
+        assert first["args"] == {"goodput_kbps": 12.5, "crc_failures": 0}
+        assert validate_chrome_trace(doc) == []
+
+    def test_counter_only_shard_is_kept_and_exports(self, tmp_path):
+        shard = tmp_path / "events-7.jsonl"
+        _write_quality_shard(shard, [(0.5, 1.0, 0)])
+        doc = export_chrome_trace([shard], tmp_path / "out.json")
+        assert any(e["ph"] == "C" for e in doc["traceEvents"])
+
+    def test_validator_pins_counter_shape(self):
+        good = {"traceEvents": [
+            {"ph": "M", "pid": 1, "tid": 1, "name": "process_name", "args": {}},
+            {"ph": "C", "pid": 1, "tid": 1, "name": "link.quality", "ts": 0,
+             "args": {"goodput_kbps": 1.0}},
+        ]}
+        assert validate_chrome_trace(good) == []
+        missing_ts = {"traceEvents": [
+            {"ph": "C", "pid": 1, "tid": 1, "name": "x", "args": {}}]}
+        assert validate_chrome_trace(missing_ts) != []
+        bad_args = {"traceEvents": [
+            {"ph": "C", "pid": 1, "tid": 1, "name": "x", "ts": 0,
+             "args": {"note": "not a number"}}]}
+        assert validate_chrome_trace(bad_args) != []
