@@ -2,11 +2,17 @@
 
 The pipeline's headline invariants — bit-identical serial/parallel
 decode results, deterministic seeded fault scenarios, wall-clock-free
-telemetry merges — are properties of *how* the code is written, not
-just of what the tests observe.  This package enforces them at lint
-time with RainBar-specific AST rules:
+telemetry merges, leak-free SharedMemory, versioned wire formats —
+are properties of *how* the code is written, not just of what the
+tests observe.  This package enforces them at lint time with a
+two-phase, project-wide analyzer: per-file AST rules, then passes
+over a shared module index that no single file can see.
 
 ========  ==============================================================
+RB000     Stale suppression: a ``# repro: noqa`` comment that no
+          longer suppresses any finding (emitted by the engine after
+          every other rule has run, so dead suppressions cannot
+          accumulate).
 RB001     Global nondeterminism: no ``random.*``, legacy
           ``np.random.<fn>`` module-level RNG, ``time.time()`` /
           ``datetime.now()`` or raw ``np.random.SeedSequence``
@@ -24,23 +30,57 @@ RB003     uint8 overflow hazard: ``+`` / ``-`` / ``*`` arithmetic on an
 RB004     Telemetry hygiene: ``span()`` results must be used as context
           managers (or returned verbatim by a forwarding wrapper), and
           nothing under ``telemetry/`` may read the wall clock apart
-          from ``perf_counter``.
+          from ``perf_counter`` in the span recorder.
 RB005     Library hygiene: no mutable default arguments, no bare
           ``except:``.
+RB006     Import layering (project pass): eager imports must respect
+          the declared layer DAG (``[analysis] layers`` in
+          ``budgets.toml``) — no upward imports, no import cycles.
+          Lazy (function-scoped / TYPE_CHECKING) imports are the
+          sanctioned upward mechanism.
+RB007     Resource lifecycle: ``SharedMemory`` / ``open`` /
+          ``NamedTemporaryFile`` acquisitions must be released on all
+          paths — context manager, ``finally`` release, or explicit
+          ownership transfer to a caller/manager.
+RB008     CLI exit-code contract: ``cli.py`` / ``__main__.py`` handler
+          functions return ints through the 0/1/2 funnel; raw
+          ``sys.exit(expr)`` is banned outside ``sys.exit(main())``.
+RB009     Pool-boundary picklability: callables submitted to
+          ``WorkerPool.submit`` / ``map_ordered`` must be module-level
+          — lambdas and closures break under the spawn start method.
+RB010     Schema-version hygiene: writers of versioned artifacts stamp
+          documents from a single ``*_SCHEMA_VERSION`` constant, never
+          an inline literal.
 ========  ==============================================================
 
 Run it with ``python -m repro.analysis src/repro`` or ``repro
-analyze``; suppress a finding with a ``# repro: noqa RBxxx`` comment on
-the offending line.  See :mod:`repro.analysis.engine` for the exit-code
-contract and :mod:`repro.analysis.report` for the JSON schema.
+analyze``; suppress a finding with a ``# repro: noqa RBxxx`` comment
+on the offending line.  ``--format sarif`` emits a SARIF 2.1.0 log
+for code-scanning upload, ``--graph`` exports the layer DAG as
+Graphviz DOT, and ``--baseline``/``--ratchet`` gate a legacy tree so
+new violations fail while grandfathered ones are paid down (and the
+grandfathered count can only decrease).  See
+:mod:`repro.analysis.engine` for the exit-code contract,
+:mod:`repro.analysis.graph` for the layer DAG, and
+:mod:`repro.analysis.baseline` for the ratchet semantics.
 """
 
 from __future__ import annotations
 
+from .baseline import (
+    BASELINE_SCHEMA_VERSION,
+    Baseline,
+    BaselineOutcome,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
 from .engine import (
     ALL_RULE_IDS,
     AnalysisResult,
+    AnalysisUsageError,
     FileReport,
+    ModuleRecord,
     Violation,
     analyze_file,
     analyze_paths,
@@ -48,23 +88,56 @@ from .engine import (
     iter_python_files,
     parse_suppressions,
 )
+from .graph import (
+    DEFAULT_LAYERS,
+    PROJECT_RULES,
+    ImportEdge,
+    LayerConfig,
+    ProjectGraph,
+    ProjectRule,
+    build_project_graph,
+    load_layer_config,
+    render_dot,
+)
 from .report import JSON_SCHEMA_VERSION, render_json, render_text
-from .rules import RULES, Rule, RuleContext
+from .rules import RULES, UNUSED_SUPPRESSION_RULE_ID, Rule, RuleContext
+from .sarif import SARIF_SCHEMA_URI, SARIF_VERSION, render_sarif
 
 __all__ = [
     "ALL_RULE_IDS",
     "AnalysisResult",
+    "AnalysisUsageError",
+    "BASELINE_SCHEMA_VERSION",
+    "Baseline",
+    "BaselineOutcome",
+    "DEFAULT_LAYERS",
     "FileReport",
+    "ImportEdge",
     "JSON_SCHEMA_VERSION",
+    "LayerConfig",
+    "ModuleRecord",
+    "PROJECT_RULES",
+    "ProjectGraph",
+    "ProjectRule",
     "RULES",
     "Rule",
     "RuleContext",
+    "SARIF_SCHEMA_URI",
+    "SARIF_VERSION",
+    "UNUSED_SUPPRESSION_RULE_ID",
     "Violation",
     "analyze_file",
     "analyze_paths",
     "analyze_source",
+    "apply_baseline",
+    "build_project_graph",
     "iter_python_files",
+    "load_baseline",
+    "load_layer_config",
     "parse_suppressions",
+    "render_dot",
     "render_json",
+    "render_sarif",
     "render_text",
+    "write_baseline",
 ]

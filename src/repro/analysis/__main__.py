@@ -10,8 +10,21 @@ Run a single rule over one file::
 
     python -m repro.analysis src/repro/core/decoder.py --select RB003
 
-Exit codes: 0 clean, 1 violations found, 2 usage/parse error (see
-:mod:`repro.analysis.engine`).
+Emit SARIF 2.1.0 for code-scanning upload::
+
+    python -m repro.analysis src/repro --format sarif > analysis.sarif
+
+Export the layer graph as Graphviz DOT::
+
+    python -m repro.analysis src/repro --graph | dot -Tsvg -o layers.svg
+
+Gate a legacy tree against its grandfathered baseline (the ratchet)::
+
+    python -m repro.analysis tests --baseline tests/analysis_baseline.json --ratchet
+
+Exit codes: 0 clean, 1 violations found (with ``--baseline``: *new*
+violations, or a loosened ratchet under ``--ratchet``), 2 usage/parse
+error (see :mod:`repro.analysis.engine`).
 """
 
 from __future__ import annotations
@@ -19,9 +32,12 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .engine import analyze_paths
+from .baseline import apply_baseline, load_baseline, write_baseline
+from .engine import AnalysisUsageError, analyze_paths
+from .graph import PROJECT_RULES, build_project_graph, load_layer_config, render_dot
 from .report import render_json, render_text
-from .rules import RULES
+from .rules import RULES, UNUSED_SUPPRESSION_RULE_ID
+from .sarif import render_sarif
 
 __all__ = ["build_parser", "main"]
 
@@ -29,7 +45,11 @@ __all__ = ["build_parser", "main"]
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro analyze",
-        description="RainBar determinism & contract linter (rules RB001-RB005)",
+        description=(
+            "RainBar determinism & contract analyzer (rules RB001-RB010): "
+            "per-file AST rules plus project-wide import-layering and "
+            "stale-suppression passes"
+        ),
     )
     parser.add_argument(
         "paths",
@@ -39,9 +59,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="report format (json is the CI artifact; schema is versioned)",
+        help=(
+            "report format (json is the CI artifact, sarif is the "
+            "code-scanning upload; both schemas are versioned)"
+        ),
     )
     parser.add_argument(
         "--select",
@@ -54,35 +77,124 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--graph",
+        action="store_true",
+        help="print the import layer graph as Graphviz DOT and exit",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=(
+            "judge findings against a grandfathered baseline: pre-existing "
+            "violations pass, new ones fail"
+        ),
+    )
+    parser.add_argument(
+        "--ratchet",
+        action="store_true",
+        help=(
+            "with --baseline: also fail when grandfathered violations were "
+            "fixed but the baseline was not tightened (the count may only "
+            "decrease)"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="write (or tighten) the baseline from this run's findings",
+    )
     return parser
 
 
-def main(argv: list[str] | None = None) -> int:
+def _list_rules() -> int:
+    print(f"{UNUSED_SUPPRESSION_RULE_ID}  stale `# repro: noqa` suppression")
+    catalogue = sorted(
+        list(RULES) + list(PROJECT_RULES), key=lambda rule: rule.id
+    )
+    for rule in catalogue:
+        print(f"{rule.id}  {rule.title}")
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.list_rules:
-        for rule in RULES:
-            print(f"{rule.id}  {rule.title}")
-        return 0
+        return _list_rules()
 
     select = None
     if args.select is not None:
         select = [part.strip() for part in args.select.split(",") if part.strip()]
 
     try:
+        if args.graph:
+            return _render_graph(args.paths)
         result = analyze_paths(args.paths, select=select)
-    except (FileNotFoundError, ValueError) as exc:
+        baseline = (
+            load_baseline(args.baseline) if args.baseline is not None else None
+        )
+    except (FileNotFoundError, AnalysisUsageError, ValueError) as exc:
         print(f"repro.analysis: error: {exc}", file=sys.stderr)
         return 2
 
+    outcome = apply_baseline(result, baseline) if baseline is not None else None
+
+    if args.write_baseline is not None:
+        try:
+            written = write_baseline(result, args.write_baseline)
+        except OSError as exc:
+            print(f"repro.analysis: error: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"wrote baseline {written.source}: {written.total} "
+            "grandfathered violation(s)"
+        )
+
     if args.format == "json":
-        print(render_json(result))
+        print(render_json(result, outcome=outcome, baseline=baseline))
+    elif args.format == "sarif":
+        print(render_sarif(result))
     else:
-        print(render_text(result))
+        print(render_text(result, outcome=outcome, baseline=baseline))
     if result.errors:
         for report in result.errors:
-            print(f"repro.analysis: error: {report.path}: {report.error}", file=sys.stderr)
+            print(
+                f"repro.analysis: error: {report.path}: {report.error}",
+                file=sys.stderr,
+            )
+        return 2
+    if args.write_baseline is not None:
+        return 0
+    if outcome is not None:
+        return outcome.exit_code(ratchet=args.ratchet)
     return result.exit_code
+
+
+def _render_graph(paths: "list[str]") -> int:
+    """Print the project layer graph as DOT (exit 0 even with findings).
+
+    The graph render is diagnostic: upward edges come out red rather
+    than failing the run — use a plain analyze run to gate.
+    """
+    from pathlib import Path
+
+    from .engine import _read_module, iter_python_files
+
+    roots = [Path(p) for p in paths]
+    for root in roots:
+        if not root.exists():
+            raise FileNotFoundError(f"no such file or directory: {root}")
+    records = [
+        _read_module(file_path, str(file_path))
+        for file_path in iter_python_files(roots)
+    ]
+    graph = build_project_graph(records)
+    config = load_layer_config(roots[0] if roots else None)
+    print(render_dot(graph, config), end="")
+    return 0
 
 
 if __name__ == "__main__":

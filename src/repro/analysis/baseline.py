@@ -1,0 +1,145 @@
+"""Grandfathered-violation baseline and the CI ratchet.
+
+A baseline file freezes the analyzer's current findings as *known
+debt*: CI keeps failing on anything **new** while the grandfathered
+set is paid down incrementally.  The ratchet is one-way — when a run
+shows fewer findings than the baseline records, ``--ratchet`` mode
+fails too, forcing the tightened baseline to be committed so the debt
+ceiling can never drift back up.
+
+Baselines are keyed by ``(path, rule)`` **counts**, not line numbers:
+an unrelated edit that shifts a grandfathered finding by ten lines
+does not break CI, while adding a second finding of the same rule to
+the same file does.  The file is deterministic JSON (sorted keys, no
+timestamps) so regenerating it on an unchanged tree is a no-op diff.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .engine import AnalysisResult
+from .rules import Violation
+
+__all__ = [
+    "BASELINE_SCHEMA_VERSION",
+    "Baseline",
+    "BaselineOutcome",
+    "apply_baseline",
+    "load_baseline",
+    "render_baseline",
+    "write_baseline",
+]
+
+BASELINE_SCHEMA_VERSION = 1
+
+
+def _key(path: str, rule: str) -> str:
+    return f"{path.replace(chr(92), '/')}::{rule}"
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """Grandfathered violation counts, keyed ``path::rule``."""
+
+    counts: dict[str, int]
+    source: str = ""
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+
+@dataclass
+class BaselineOutcome:
+    """One run judged against a baseline."""
+
+    new: list[Violation] = field(default_factory=list)
+    grandfathered: int = 0
+    #: ``path::rule`` -> how many grandfathered findings disappeared.
+    improved: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def improvement_total(self) -> int:
+        return sum(self.improved.values())
+
+    def exit_code(self, ratchet: bool) -> int:
+        if self.new:
+            return 1
+        if ratchet and self.improved:
+            return 1
+        return 0
+
+
+def _current_counts(result: AnalysisResult) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for violation in result.violations:
+        key = _key(violation.path, violation.rule)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def render_baseline(result: AnalysisResult) -> str:
+    """Serialize the run's findings as a deterministic baseline document."""
+    doc = {
+        "version": BASELINE_SCHEMA_VERSION,
+        "tool": "repro.analysis",
+        "counts": dict(sorted(_current_counts(result).items())),
+    }
+    return json.dumps(doc, indent=2, sort_keys=False) + "\n"
+
+
+def write_baseline(result: AnalysisResult, path: "str | Path") -> Baseline:
+    """Write (or tighten) the baseline file for *result*."""
+    target = Path(path)
+    target.write_text(render_baseline(result), encoding="utf-8")
+    return Baseline(counts=_current_counts(result), source=str(target))
+
+
+def load_baseline(path: "str | Path") -> Baseline:
+    """Parse a baseline file; raises ``ValueError`` on a malformed one."""
+    source = Path(path)
+    try:
+        doc = json.loads(source.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{source}: baseline is not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("version") != BASELINE_SCHEMA_VERSION:
+        raise ValueError(
+            f"{source}: unsupported baseline (need version "
+            f"{BASELINE_SCHEMA_VERSION} written by repro.analysis)"
+        )
+    counts = doc.get("counts")
+    if not isinstance(counts, dict) or not all(
+        isinstance(k, str) and isinstance(v, int) and v >= 0
+        for k, v in counts.items()
+    ):
+        raise ValueError(f"{source}: baseline counts must map 'path::rule' to ints")
+    return Baseline(counts=dict(counts), source=str(source))
+
+
+def apply_baseline(result: AnalysisResult, baseline: Baseline) -> BaselineOutcome:
+    """Split the run's findings into grandfathered vs. new.
+
+    Within one ``(path, rule)`` bucket the first *n* findings (in the
+    engine's stable line order) are grandfathered, where *n* is the
+    baseline count; everything past that is new.  Buckets the run no
+    longer produces are reported as improvements so ``--ratchet`` can
+    demand the baseline be tightened.
+    """
+    outcome = BaselineOutcome()
+    seen: dict[str, int] = {}
+    for violation in result.violations:
+        key = _key(violation.path, violation.rule)
+        seen[key] = seen.get(key, 0) + 1
+        allowance = baseline.counts.get(key, 0)
+        if seen[key] <= allowance:
+            outcome.grandfathered += 1
+        else:
+            outcome.new.append(violation)
+    for key, allowance in baseline.counts.items():
+        produced = seen.get(key, 0)
+        if produced < allowance:
+            outcome.improved[key] = allowance - produced
+    return outcome

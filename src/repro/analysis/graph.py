@@ -1,0 +1,526 @@
+"""Project-wide import graph: the layer DAG, RB006 and the DOT export.
+
+The per-file rules see one module at a time; this pass sees them all.
+It resolves every ``import`` in the indexed tree to the target module,
+separates **eager** edges (executed at import time) from **lazy** ones
+(function-scoped or under ``if TYPE_CHECKING:``), and checks the eager
+graph against the declared layer DAG:
+
+* an eager import may only point at the **same or a lower** layer —
+  an upward import is a layering inversion (RB006);
+* the eager module graph must be **acyclic** — any strongly-connected
+  component is reported as a cycle (RB006), because such modules only
+  import by luck of execution order;
+* every package that appears in the tree must be **declared** in the
+  layer config, so a new subsystem cannot dodge the contract.
+
+Lazy imports are the sanctioned mechanism for upward references (the
+CLI pulling subsystems on demand, a low layer reaching a diagnostic
+renderer at call time) and are exempt — they appear dashed in the DOT
+export so the escape hatch stays visible.
+
+The declared layers live in ``budgets.toml`` under ``[analysis]`` as a
+``layers`` array-of-arrays, lowest layer first; :data:`DEFAULT_LAYERS`
+is the built-in mirror used when no config is found (or on
+interpreters without ``tomllib``).  The default is grounded in the
+real dependency structure of the tree: ``telemetry`` and ``faults``
+sit *below* ``core``/``channel`` because they are substrates the
+pipeline instruments into and draws seeds from — everything imports
+them, they eagerly import nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+from .rules import RuleContext, Violation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import ModuleRecord
+
+__all__ = [
+    "DEFAULT_LAYERS",
+    "ImportEdge",
+    "LayerConfig",
+    "ProjectGraph",
+    "PROJECT_RULES",
+    "ProjectRule",
+    "RB006ImportLayering",
+    "build_project_graph",
+    "load_layer_config",
+    "render_dot",
+]
+
+#: Declared layer DAG, lowest layer first.  Mirrored by ``[analysis]``
+#: ``layers`` in ``budgets.toml``; packages on the same row may import
+#: each other, higher rows may import lower rows, never the reverse.
+DEFAULT_LAYERS: tuple[tuple[str, ...], ...] = (
+    ("coding", "imaging", "faults", "telemetry"),
+    ("core", "io"),
+    ("channel",),
+    ("link",),
+    ("serve",),
+    ("baselines", "bench"),
+    ("analysis", "cli"),
+)
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One resolved ``import`` statement: source module -> target module."""
+
+    src: str
+    dst: str
+    relpath: str
+    line: int
+    col: int
+    eager: bool
+
+
+@dataclass(frozen=True)
+class LayerConfig:
+    """The declared layer DAG: entity name -> layer index (0 = lowest)."""
+
+    layers: tuple[tuple[str, ...], ...]
+    source: str = "builtin"
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for row in self.layers:
+            for name in row:
+                if name in seen:
+                    raise ValueError(
+                        f"layer config ({self.source}): package {name!r} "
+                        "declared in more than one layer"
+                    )
+                seen.add(name)
+
+    @property
+    def level_of(self) -> dict[str, int]:
+        return {
+            name: level for level, row in enumerate(self.layers) for name in row
+        }
+
+
+def load_layer_config(start: "Path | None" = None) -> LayerConfig:
+    """Find and parse the ``[analysis] layers`` table, else the default.
+
+    Walks from *start* (a linted path or the cwd) upward looking for a
+    ``budgets.toml`` with an ``[analysis]`` table.  Falls back to
+    :data:`DEFAULT_LAYERS` when no config is found or the interpreter
+    lacks ``tomllib`` (< 3.11); a present-but-malformed table raises
+    ``ValueError`` so a typo cannot silently disable the contract.
+    """
+    try:
+        import tomllib
+    except ImportError:  # pragma: no cover - Python < 3.11
+        return LayerConfig(DEFAULT_LAYERS)
+
+    base = (start or Path.cwd()).resolve()
+    if base.is_file():
+        base = base.parent
+    for candidate in [base, *base.parents]:
+        budgets = candidate / "budgets.toml"
+        if not budgets.is_file():
+            continue
+        try:
+            with open(budgets, "rb") as fh:
+                doc = tomllib.load(fh)
+        except (OSError, tomllib.TOMLDecodeError):
+            continue
+        table = doc.get("analysis")
+        if not isinstance(table, dict) or "layers" not in table:
+            continue
+        layers = table["layers"]
+        if not (
+            isinstance(layers, list)
+            and layers
+            and all(
+                isinstance(row, list) and all(isinstance(n, str) for n in row)
+                for row in layers
+            )
+        ):
+            raise ValueError(
+                f"{budgets}: [analysis] layers must be a non-empty "
+                "array of arrays of package names"
+            )
+        return LayerConfig(
+            tuple(tuple(row) for row in layers), source=str(budgets)
+        )
+    return LayerConfig(DEFAULT_LAYERS)
+
+
+def module_name_for(relpath: str) -> str:
+    """Dotted module for *relpath*, anchored at its ``repro`` directory.
+
+    ``src/repro/core/decoder.py`` -> ``repro.core.decoder``;
+    ``repro/__init__.py`` -> ``repro``.  Paths that never pass through
+    a ``repro`` directory return ``""`` and stay out of the graph.
+    """
+    parts = relpath.replace("\\", "/").split("/")
+    if "repro" not in parts[:-1]:
+        return ""
+    parts = parts[parts.index("repro") :]
+    if not parts[-1].endswith(".py"):
+        return ""
+    parts[-1] = parts[-1][: -len(".py")]
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def entity_of(module: str) -> str:
+    """Layer entity for a module: its first subpackage, or ``cli``.
+
+    Top-level modules (``repro.cli``, ``repro.__main__`` and the
+    ``repro`` facade itself) are the user-facing shell and belong to
+    the ``cli`` layer.
+    """
+    parts = module.split(".")
+    if len(parts) >= 3 or (len(parts) == 2 and parts[1] not in ("cli", "__main__")):
+        candidate = parts[1]
+        return candidate if candidate not in ("cli", "__main__") else "cli"
+    return "cli"
+
+
+class _ImportCollector(ast.NodeVisitor):
+    """Collect (module, line, col, eager) import targets for one file."""
+
+    def __init__(self, module: str, known: set[str], is_package: bool = False):
+        self.module = module
+        self.known = known
+        self.is_package = is_package
+        self.found: list[tuple[str, int, int, bool]] = []
+        self._depth = 0
+
+    # Function bodies (and TYPE_CHECKING blocks) execute after import
+    # time; imports there are lazy edges.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._depth += 1
+        self.generic_visit(node)
+        self._depth -= 1
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._depth += 1
+        self.generic_visit(node)
+        self._depth -= 1
+
+    def visit_If(self, node: ast.If) -> None:
+        test = node.test
+        is_type_checking = (isinstance(test, ast.Name) and test.id == "TYPE_CHECKING") or (
+            isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING"
+        )
+        if is_type_checking:
+            self._depth += 1
+            for stmt in node.body:
+                self.visit(stmt)
+            self._depth -= 1
+            for stmt in node.orelse:
+                self.visit(stmt)
+        else:
+            self.generic_visit(node)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._add(alias.name, node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level > 0:
+            base_parts = self.module.split(".")
+            # '.': the containing package — which for an __init__ module
+            # is the module itself; '..': one package up, and so on.
+            drop = node.level - 1 if self.is_package else node.level
+            base_parts = base_parts[: len(base_parts) - drop]
+            if node.module:
+                base_parts = base_parts + node.module.split(".")
+            base = ".".join(base_parts)
+        else:
+            base = node.module or ""
+        if not base:
+            return
+        resolved_any = False
+        for alias in node.names:
+            candidate = f"{base}.{alias.name}"
+            # `from repro import telemetry` binds the submodule; only
+            # record the package edge when the name is not one.
+            if self._is_known_module(candidate):
+                self._add(candidate, node)
+                resolved_any = True
+        if not resolved_any:
+            self._add(base, node)
+
+    def _is_known_module(self, dotted: str) -> bool:
+        return dotted in self.known
+
+    def _add(self, target: str, node: ast.stmt) -> None:
+        if target == "repro" or target.startswith("repro."):
+            self.found.append(
+                (target, node.lineno, node.col_offset, self._depth == 0)
+            )
+
+
+@dataclass
+class ProjectGraph:
+    """The resolved module index plus every cross-module import edge."""
+
+    modules: dict[str, "ModuleRecord"] = field(default_factory=dict)
+    edges: list[ImportEdge] = field(default_factory=list)
+
+    def eager_edges(self) -> list[ImportEdge]:
+        return [e for e in self.edges if e.eager]
+
+    def entities(self) -> set[str]:
+        return {entity_of(m) for m in self.modules}
+
+    def entity_edges(self, eager_only: bool = True) -> set[tuple[str, str]]:
+        out: set[tuple[str, str]] = set()
+        for edge in self.edges:
+            if eager_only and not edge.eager:
+                continue
+            src, dst = entity_of(edge.src), entity_of(edge.dst)
+            if src != dst:
+                out.add((src, dst))
+        return out
+
+
+def build_project_graph(records: Iterable["ModuleRecord"]) -> ProjectGraph:
+    """Index parsed modules and resolve every import between them."""
+    graph = ProjectGraph()
+    for record in records:
+        if record.tree is None or not record.module:
+            continue
+        # First writer wins; duplicate module names (the same tree
+        # linted through two roots) keep the first occurrence.
+        graph.modules.setdefault(record.module, record)
+
+    known = set(graph.modules)
+    for module, record in graph.modules.items():
+        assert record.tree is not None
+        is_package = record.relpath.replace("\\", "/").endswith("/__init__.py")
+        collector = _ImportCollector(module, known, is_package=is_package)
+        collector.visit(record.tree)
+        for target, line, col, eager in collector.found:
+            resolved = _resolve_target(target, known)
+            if resolved is None or resolved == module:
+                continue
+            graph.edges.append(
+                ImportEdge(
+                    src=module,
+                    dst=resolved,
+                    relpath=record.relpath,
+                    line=line,
+                    col=col,
+                    eager=eager,
+                )
+            )
+    return graph
+
+
+def _resolve_target(dotted: str, known: set[str]) -> "str | None":
+    """Longest indexed prefix of *dotted* (imports of attrs hit the module)."""
+    parts = dotted.split(".")
+    for end in range(len(parts), 0, -1):
+        candidate = ".".join(parts[:end])
+        if candidate in known:
+            return candidate
+    return None
+
+
+def _strongly_connected(nodes: Sequence[str], edges: dict[str, set[str]]) -> list[list[str]]:
+    """Tarjan SCCs, returned in first-seen order; singletons excluded."""
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    counter = [0]
+    components: list[list[str]] = []
+
+    def strongconnect(v: str) -> None:
+        # Iterative Tarjan: (node, iterator) frames, no recursion limit.
+        work: list[tuple[str, Iterator[str]]] = [(v, iter(sorted(edges.get(v, ()))))]
+        index[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in index:
+                    index[w] = low[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(sorted(edges.get(w, ())))))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    low[node] = min(low[node], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                component: list[str] = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    component.append(w)
+                    if w == node:
+                        break
+                if len(component) > 1:
+                    components.append(sorted(component))
+
+    for v in sorted(nodes):
+        if v not in index:
+            strongconnect(v)
+    return components
+
+
+class ProjectRule:
+    """Base for whole-program passes run after every file has parsed."""
+
+    id = "RB000"
+    title = ""
+
+    def check_project(
+        self, graph: ProjectGraph, config: LayerConfig
+    ) -> list[Violation]:
+        raise NotImplementedError
+
+
+class RB006ImportLayering(ProjectRule):
+    """Eager imports must respect the declared layer DAG and stay acyclic."""
+
+    id = "RB006"
+    title = "import layering inversion or cycle"
+
+    def check_project(
+        self, graph: ProjectGraph, config: LayerConfig
+    ) -> list[Violation]:
+        out: list[Violation] = []
+        levels = config.level_of
+
+        undeclared_flagged: set[str] = set()
+        adjacency: dict[str, set[str]] = {}
+        for edge in graph.eager_edges():
+            adjacency.setdefault(edge.src, set()).add(edge.dst)
+            src_entity, dst_entity = entity_of(edge.src), entity_of(edge.dst)
+            for entity, module in ((src_entity, edge.src), (dst_entity, edge.dst)):
+                if entity not in levels and entity not in undeclared_flagged:
+                    undeclared_flagged.add(entity)
+                    out.append(
+                        self._violation(
+                            edge,
+                            f"package `{entity}` (via {module}) is not "
+                            "declared in the [analysis] layers config; every "
+                            "package must take a place in the layer DAG",
+                        )
+                    )
+            if src_entity == dst_entity:
+                continue
+            src_level = levels.get(src_entity)
+            dst_level = levels.get(dst_entity)
+            if src_level is None or dst_level is None:
+                continue
+            if src_level < dst_level:
+                out.append(
+                    self._violation(
+                        edge,
+                        f"upward import: `{src_entity}` (layer {src_level}) "
+                        f"eagerly imports `{dst_entity}` (layer {dst_level}); "
+                        "higher layers may import lower, never the reverse "
+                        "(make it lazy or move the shared piece down)",
+                    )
+                )
+
+        for component in _strongly_connected(sorted(graph.modules), adjacency):
+            cycle = " -> ".join(component + component[:1])
+            first = component[0]
+            edge = next(
+                (
+                    e
+                    for e in graph.eager_edges()
+                    if e.src == first and e.dst in component
+                ),
+                None,
+            )
+            record = graph.modules[first]
+            out.append(
+                Violation(
+                    rule=self.id,
+                    message=(
+                        f"import cycle among {len(component)} modules: "
+                        f"{cycle}; eager cycles only work by luck of import "
+                        "order"
+                    ),
+                    path=edge.relpath if edge else record.relpath,
+                    line=edge.line if edge else 1,
+                    col=edge.col if edge else 0,
+                )
+            )
+        return out
+
+    def _violation(self, edge: ImportEdge, message: str) -> Violation:
+        return Violation(
+            rule=self.id,
+            message=message,
+            path=edge.relpath,
+            line=edge.line,
+            col=edge.col,
+        )
+
+
+#: Registry of project passes, run by the engine after per-file rules.
+PROJECT_RULES: Sequence[ProjectRule] = (RB006ImportLayering(),)
+
+
+def render_dot(graph: ProjectGraph, config: LayerConfig) -> str:
+    """Graphviz DOT of the package-level layer graph.
+
+    One cluster per declared layer, solid edges for eager imports,
+    dashed for lazy ones; an upward eager edge comes out red so a
+    screenshot of the graph is itself the violation report.
+    """
+    levels = config.level_of
+    entities = sorted(graph.entities())
+    lines = [
+        "digraph repro_layers {",
+        "  rankdir=BT;",
+        '  node [shape=box, fontname="Helvetica"];',
+    ]
+    for level, row in enumerate(config.layers):
+        members = [name for name in row if name in entities]
+        if not members:
+            continue
+        lines.append(f"  subgraph cluster_layer{level} {{")
+        lines.append(f'    label="layer {level}"; style=dashed; color=gray;')
+        for name in members:
+            lines.append(f'    "{name}";')
+        lines.append("  }")
+    for name in entities:
+        if name not in levels:
+            lines.append(f'  "{name}" [color=red];  // undeclared')
+
+    eager = graph.entity_edges(eager_only=True)
+    lazy = graph.entity_edges(eager_only=False) - eager
+    for src, dst in sorted(eager):
+        upward = (
+            src in levels and dst in levels and levels[src] < levels[dst]
+        )
+        attrs = ' [color=red, penwidth=2.0, label="UPWARD"]' if upward else ""
+        lines.append(f'  "{src}" -> "{dst}"{attrs};')
+    for src, dst in sorted(lazy):
+        lines.append(f'  "{src}" -> "{dst}" [style=dashed, color=gray];')
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def context_for(record: "ModuleRecord") -> RuleContext:
+    """RuleContext for a record (project rules reuse file-rule scoping)."""
+    return RuleContext.for_path(record.relpath)

@@ -1,0 +1,140 @@
+"""SARIF 2.1.0 reporter for analysis results.
+
+SARIF (Static Analysis Results Interchange Format) is the OASIS
+standard CI surfaces ingest natively — GitHub code scanning renders a
+SARIF upload as inline annotations on the exact violation lines.  The
+document this module emits is a deliberately small, strictly valid
+subset of the 2.1.0 schema:
+
+* one ``run`` with a ``tool.driver`` carrying the full rule catalogue
+  (every RBxxx id, title and help text), so viewers can show rule
+  metadata even for runs with zero results;
+* one ``result`` per violation at level ``error``, anchored by a
+  ``physicalLocation`` with 1-based line/column;
+* parse/read failures become ``toolExecutionNotifications`` with
+  level ``error`` and ``invocation.executionSuccessful`` false —
+  SARIF's way of saying "the run itself was unhealthy", mirroring the
+  analyzer's exit-code 2.
+
+URIs are emitted with forward slashes and no leading ``./`` per the
+spec's ``artifactLocation`` rules.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .engine import AnalysisResult
+from .graph import PROJECT_RULES
+from .rules import RULES, UNUSED_SUPPRESSION_RULE_ID
+
+__all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "render_sarif"]
+
+#: The SARIF spec version this document conforms to.
+SARIF_VERSION = "2.1.0"
+
+#: Canonical 2.1.0 schema location (OASIS final).
+SARIF_SCHEMA_URI = (
+    "https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/os/schemas/"
+    "sarif-schema-2.1.0.json"
+)
+
+#: Help text for the engine-emitted pseudo-rule (stale suppressions).
+_RB000_TITLE = "stale `# repro: noqa` suppression"
+
+
+def _rule_catalogue() -> list[dict[str, Any]]:
+    rules: list[dict[str, Any]] = [
+        {
+            "id": UNUSED_SUPPRESSION_RULE_ID,
+            "shortDescription": {"text": _RB000_TITLE},
+            "helpUri": "https://github.com/rainbar-repro#static-analysis",
+        }
+    ]
+    catalogue = list(RULES) + list(PROJECT_RULES)
+    for rule in sorted(catalogue, key=lambda r: r.id):
+        rules.append(
+            {
+                "id": rule.id,
+                "shortDescription": {"text": rule.title},
+                "fullDescription": {
+                    "text": " ".join((rule.__doc__ or rule.title).split())
+                },
+            }
+        )
+    return rules
+
+
+def _uri(path: str) -> str:
+    uri = path.replace("\\", "/")
+    return uri[2:] if uri.startswith("./") else uri
+
+
+def render_sarif(result: AnalysisResult, indent: "int | None" = 2) -> str:
+    """Serialize *result* as a SARIF 2.1.0 log."""
+    rules = _rule_catalogue()
+    rule_index = {rule["id"]: i for i, rule in enumerate(rules)}
+
+    results: list[dict[str, Any]] = []
+    for violation in result.violations:
+        results.append(
+            {
+                "ruleId": violation.rule,
+                "ruleIndex": rule_index.get(violation.rule, -1),
+                "level": "error",
+                "message": {"text": violation.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": _uri(violation.path)},
+                            "region": {
+                                "startLine": max(violation.line, 1),
+                                "startColumn": max(violation.col + 1, 1),
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+
+    notifications: list[dict[str, Any]] = []
+    for report in result.errors:
+        notifications.append(
+            {
+                "level": "error",
+                "message": {"text": report.error},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": _uri(report.path)}
+                        }
+                    }
+                ],
+            }
+        )
+
+    doc = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis",
+                        "informationUri": "https://github.com/rainbar-repro",
+                        "rules": rules,
+                    }
+                },
+                "invocations": [
+                    {
+                        "executionSuccessful": not result.errors,
+                        "toolExecutionNotifications": notifications,
+                    }
+                ],
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+    return json.dumps(doc, indent=indent, sort_keys=False)

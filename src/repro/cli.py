@@ -308,18 +308,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     ana = sub.add_parser(
         "analyze",
-        help="run the determinism & contract linter (rules RB001-RB005)",
+        help="run the determinism & contract analyzer (rules RB001-RB010)",
         description=(
-            "Static analysis over the repro tree: global-nondeterminism, "
-            "seed plumbing, uint8 overflow hazards, telemetry hygiene and "
-            "library hygiene.  Exit 0 clean, 1 violations, 2 usage error.  "
+            "Two-phase static analysis over the repro tree: per-file rules "
+            "(global-nondeterminism, seed plumbing, uint8 overflow hazards, "
+            "telemetry hygiene, library hygiene, resource lifecycle, CLI "
+            "exit-code contract, pool-boundary picklability, schema-version "
+            "hygiene) plus project passes (import layering, stale "
+            "suppressions).  Exit 0 clean, 1 violations, 2 usage error.  "
             "All arguments are forwarded to `python -m repro.analysis`."
         ),
     )
     ana.add_argument(
         "analyze_args",
         nargs=argparse.REMAINDER,
-        help="arguments for repro.analysis (paths, --format, --select, --list-rules)",
+        help=(
+            "arguments for repro.analysis (paths, --format, --select, "
+            "--list-rules, --graph, --baseline, --ratchet, --write-baseline)"
+        ),
     )
     return parser
 

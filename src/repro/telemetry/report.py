@@ -24,7 +24,6 @@ import json
 from pathlib import Path
 from typing import Any, Iterable
 
-from ..core.decoder import DECODE_STAGES
 from .events import merge_shards, validate_events_file
 
 __all__ = ["build_report", "format_report", "check_report", "write_report"]
@@ -60,6 +59,11 @@ def build_report(telemetry_dir: str | Path) -> dict[str, Any]:
     for entry in stage_stats.values():
         entry["total_ms"] = round(entry["total_ms"], 4)
         entry["mean_ms"] = round(entry["total_ms"] / max(entry["count"], 1), 4)
+
+    # Lazy import: telemetry is a substrate layer below core in the
+    # declared import DAG (RB006); the decoder's stage list is only
+    # needed at report-render time, never at import time.
+    from ..core.decoder import DECODE_STAGES
 
     counters = metrics.get("counters", {})
     failure_stages = {stage: 0 for stage in DECODE_STAGES}

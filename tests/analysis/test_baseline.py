@@ -1,0 +1,193 @@
+"""Baseline grandfathering and the one-way CI ratchet.
+
+The workflow under test: freeze today's findings with
+``--write-baseline``, keep CI green while the debt is paid down,
+fail on anything *new*, and (under ``--ratchet``) fail when findings
+were fixed but the baseline was not tightened — the ceiling may only
+move down.
+"""
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    analyze_paths,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.baseline import render_baseline
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+RB001_SNIPPET = textwrap.dedent(
+    """
+    import numpy as np
+
+    def noise(shape):
+        return np.random.rand(*shape)
+    """
+)
+
+
+def make_tree(tmp_path, extra=False):
+    package = tmp_path / "repro" / "faults"
+    package.mkdir(parents=True, exist_ok=True)
+    (package / "bad.py").write_text(RB001_SNIPPET)
+    if extra:
+        (package / "worse.py").write_text(RB001_SNIPPET)
+    return tmp_path
+
+
+def run_cli(*argv, cwd=None):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *argv],
+        capture_output=True,
+        text=True,
+        cwd=cwd or REPO_ROOT,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+
+
+# -- round-trip ----------------------------------------------------------
+
+
+def test_baseline_round_trip_and_determinism(tmp_path):
+    result = analyze_paths([make_tree(tmp_path)])
+    target = tmp_path / "baseline.json"
+    written = write_baseline(result, target)
+    loaded = load_baseline(target)
+    assert loaded.counts == written.counts
+    assert loaded.total == len(result.violations) > 0
+    # Deterministic document: regenerating is a byte-identical no-op.
+    assert render_baseline(result) == target.read_text()
+    assert "time" not in target.read_text().lower()
+
+
+def test_load_baseline_rejects_garbage(tmp_path):
+    bad = tmp_path / "baseline.json"
+    bad.write_text("not json")
+    with pytest.raises(ValueError, match="not valid JSON"):
+        load_baseline(bad)
+    bad.write_text('{"version": 99, "counts": {}}')
+    with pytest.raises(ValueError, match="unsupported baseline"):
+        load_baseline(bad)
+    bad.write_text('{"version": 1, "tool": "repro.analysis", "counts": {"a::RB001": -1}}')
+    with pytest.raises(ValueError, match="counts"):
+        load_baseline(bad)
+
+
+# -- grandfathering semantics --------------------------------------------
+
+
+def test_unchanged_tree_is_fully_grandfathered(tmp_path):
+    result = analyze_paths([make_tree(tmp_path)])
+    baseline = write_baseline(result, tmp_path / "baseline.json")
+    outcome = apply_baseline(result, baseline)
+    assert outcome.new == []
+    assert outcome.grandfathered == len(result.violations)
+    assert outcome.improved == {}
+    assert outcome.exit_code(ratchet=False) == 0
+    assert outcome.exit_code(ratchet=True) == 0
+
+
+def test_new_violation_is_caught(tmp_path):
+    baseline = write_baseline(
+        analyze_paths([make_tree(tmp_path)]), tmp_path / "baseline.json"
+    )
+    regressed = analyze_paths([make_tree(tmp_path, extra=True)])
+    outcome = apply_baseline(regressed, baseline)
+    assert len(outcome.new) > 0
+    assert all("worse.py" in v.path for v in outcome.new)
+    assert outcome.exit_code(ratchet=False) == 1
+
+
+def test_extra_finding_in_a_grandfathered_file_is_new(tmp_path):
+    # Counts are per (path, rule): a second RB001 in the same file must
+    # not hide behind the first.
+    result = analyze_paths([make_tree(tmp_path)])
+    baseline = write_baseline(result, tmp_path / "baseline.json")
+    bad = tmp_path / "repro" / "faults" / "bad.py"
+    bad.write_text(RB001_SNIPPET + "\ndef more(shape):\n    return np.random.rand(*shape)\n")
+    outcome = apply_baseline(analyze_paths([tmp_path]), baseline)
+    assert len(outcome.new) == 1
+
+
+def test_ratchet_demands_tightening_after_improvement(tmp_path):
+    baseline = write_baseline(
+        analyze_paths([make_tree(tmp_path, extra=True)]),
+        tmp_path / "baseline.json",
+    )
+    (tmp_path / "repro" / "faults" / "worse.py").write_text(
+        "def f(rng):\n    return rng.normal()\n"
+    )
+    outcome = apply_baseline(analyze_paths([tmp_path]), baseline)
+    assert outcome.new == []
+    assert outcome.improvement_total > 0
+    assert outcome.exit_code(ratchet=False) == 0  # plain mode: still green
+    assert outcome.exit_code(ratchet=True) == 1  # ratchet: tighten or fail
+
+
+def test_baseline_keys_are_line_insensitive(tmp_path):
+    result = analyze_paths([make_tree(tmp_path)])
+    baseline = write_baseline(result, tmp_path / "baseline.json")
+    bad = tmp_path / "repro" / "faults" / "bad.py"
+    bad.write_text("# a comment pushing everything down\n" * 10 + RB001_SNIPPET)
+    outcome = apply_baseline(analyze_paths([tmp_path]), baseline)
+    assert outcome.new == []  # shifted, not new
+
+
+# -- CLI workflow --------------------------------------------------------
+
+
+def test_cli_write_then_gate_then_regress(tmp_path):
+    tree = make_tree(tmp_path)
+    baseline_path = tmp_path / "baseline.json"
+
+    wrote = run_cli(str(tree), "--write-baseline", str(baseline_path))
+    assert wrote.returncode == 0, wrote.stdout + wrote.stderr
+    assert "wrote baseline" in wrote.stdout
+
+    gated = run_cli(str(tree), "--baseline", str(baseline_path))
+    assert gated.returncode == 0, gated.stdout + gated.stderr
+    assert "0 new" in gated.stdout
+
+    make_tree(tmp_path, extra=True)
+    regressed = run_cli(
+        str(tree), "--baseline", str(baseline_path), "--format", "json"
+    )
+    assert regressed.returncode == 1
+    doc = json.loads(regressed.stdout)
+    assert doc["baseline"]["new_count"] > 0
+    assert doc["baseline"]["grandfathered"] > 0
+
+
+def test_cli_ratchet_fails_until_baseline_tightened(tmp_path):
+    tree = make_tree(tmp_path, extra=True)
+    baseline_path = tmp_path / "baseline.json"
+    run_cli(str(tree), "--write-baseline", str(baseline_path))
+
+    (tmp_path / "repro" / "faults" / "worse.py").write_text(
+        "def f(rng):\n    return rng.normal()\n"
+    )
+    loose = run_cli(str(tree), "--baseline", str(baseline_path), "--ratchet")
+    assert loose.returncode == 1
+    assert "tighten the baseline" in loose.stdout
+
+    run_cli(str(tree), "--write-baseline", str(baseline_path))
+    tight = run_cli(str(tree), "--baseline", str(baseline_path), "--ratchet")
+    assert tight.returncode == 0, tight.stdout + tight.stderr
+
+
+def test_cli_malformed_baseline_is_usage_error(tmp_path):
+    tree = make_tree(tmp_path)
+    bad = tmp_path / "baseline.json"
+    bad.write_text("{broken")
+    proc = run_cli(str(tree), "--baseline", str(bad))
+    assert proc.returncode == 2
+    assert "repro.analysis: error:" in proc.stderr

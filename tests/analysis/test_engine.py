@@ -77,7 +77,8 @@ def test_non_matching_suppression_keeps_violation():
         ),
         "repro/core/fixture.py",
     )
-    assert [v.rule for v in report.violations] == ["RB001"]
+    # The RB005 suppression silences nothing, so it is itself stale (RB000).
+    assert [v.rule for v in report.violations] == ["RB000", "RB001"]
     assert report.suppressed == 0
 
 
@@ -216,7 +217,7 @@ def test_repro_analyze_subcommand_forwards():
 
 
 def test_self_lint_src_repro_is_clean():
-    """`src/repro` must stay free of RB001-RB005 violations."""
+    """`src/repro` must stay free of RB001-RB010 (and RB000) violations."""
     result = analyze_paths([SRC_REPRO])
     assert result.errors == []
     offending = [

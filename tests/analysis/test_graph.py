@@ -1,0 +1,250 @@
+"""RB006 import layering: the project pass, the layer config and DOT.
+
+The seeded regressions here are the contract this PR exists for: a
+layering inversion (a low layer eagerly importing a high one), an
+eager module cycle, and an undeclared package must each be caught —
+while lazy (function-scoped / TYPE_CHECKING) imports stay exempt as
+the sanctioned upward mechanism.  The final tests prove the *real*
+``src/repro`` tree is clean under the declared DAG.
+"""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    DEFAULT_LAYERS,
+    LayerConfig,
+    analyze_paths,
+    build_project_graph,
+    load_layer_config,
+    render_dot,
+)
+from repro.analysis.engine import parse_module
+from repro.analysis.graph import (
+    RB006ImportLayering,
+    entity_of,
+    module_name_for,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC_REPRO = REPO_ROOT / "src" / "repro"
+
+DEFAULT_CONFIG = LayerConfig(DEFAULT_LAYERS)
+
+
+def records_for(modules):
+    """Parse {relpath: source} into phase-1 records."""
+    return [
+        parse_module(textwrap.dedent(source), relpath)
+        for relpath, source in modules.items()
+    ]
+
+
+def rb006(modules, config=DEFAULT_CONFIG):
+    graph = build_project_graph(records_for(modules))
+    return graph, RB006ImportLayering().check_project(graph, config)
+
+
+# -- seeded regression: layering inversion -------------------------------
+
+
+def test_upward_eager_import_is_flagged():
+    graph, violations = rb006(
+        {
+            "repro/core/bad.py": "from repro.serve.pool import WorkerPool\n",
+            "repro/serve/pool.py": "class WorkerPool:\n    pass\n",
+        }
+    )
+    (violation,) = violations
+    assert violation.rule == "RB006"
+    assert "upward import" in violation.message
+    assert "`core`" in violation.message and "`serve`" in violation.message
+    assert violation.path == "repro/core/bad.py"
+    assert violation.line == 1
+
+
+def test_downward_eager_import_is_fine():
+    _, violations = rb006(
+        {
+            "repro/serve/pool.py": "from repro.core.util import f\n",
+            "repro/core/util.py": "def f():\n    return 0\n",
+        }
+    )
+    assert violations == []
+
+
+def test_lazy_function_scoped_import_is_exempt():
+    _, violations = rb006(
+        {
+            "repro/core/ok.py": """
+                def render():
+                    from repro.serve.pool import WorkerPool
+                    return WorkerPool
+                """,
+            "repro/serve/pool.py": "class WorkerPool:\n    pass\n",
+        }
+    )
+    assert violations == []
+
+
+def test_type_checking_import_is_exempt():
+    _, violations = rb006(
+        {
+            "repro/core/typed.py": """
+                from typing import TYPE_CHECKING
+
+                if TYPE_CHECKING:
+                    from repro.serve.pool import WorkerPool
+
+                def f(pool: "WorkerPool"):
+                    return pool
+                """,
+            "repro/serve/pool.py": "class WorkerPool:\n    pass\n",
+        }
+    )
+    assert violations == []
+
+
+# -- seeded regression: eager module cycle -------------------------------
+
+
+def test_eager_module_cycle_is_flagged():
+    _, violations = rb006(
+        {
+            "repro/core/a.py": "from repro.core.b import f\n",
+            "repro/core/b.py": "from repro.core.a import g\n",
+        }
+    )
+    (violation,) = violations
+    assert violation.rule == "RB006"
+    assert "import cycle" in violation.message
+    assert "repro.core.a -> repro.core.b" in violation.message
+
+
+def test_lazy_back_edge_breaks_the_cycle():
+    _, violations = rb006(
+        {
+            "repro/core/a.py": "from repro.core.b import f\n",
+            "repro/core/b.py": """
+                def g():
+                    from repro.core.a import h
+                    return h
+                """,
+        }
+    )
+    assert violations == []
+
+
+# -- seeded regression: undeclared package -------------------------------
+
+
+def test_undeclared_package_is_flagged():
+    _, violations = rb006(
+        {
+            "repro/widgets/shiny.py": "from repro.core.util import f\n",
+            "repro/core/util.py": "def f():\n    return 0\n",
+        }
+    )
+    assert any(
+        "`widgets`" in v.message and "not declared" in v.message
+        for v in violations
+    )
+
+
+# -- module identity & layer config --------------------------------------
+
+
+def test_module_name_and_entity_resolution():
+    assert module_name_for("src/repro/core/decoder.py") == "repro.core.decoder"
+    assert module_name_for("src/repro/core/__init__.py") == "repro.core"
+    assert module_name_for("src/repro/__init__.py") == "repro"
+    assert module_name_for("tests/core/test_decoder.py") == ""
+    assert entity_of("repro.core.decoder") == "core"
+    assert entity_of("repro.cli") == "cli"
+    assert entity_of("repro.__main__") == "cli"
+    assert entity_of("repro") == "cli"
+
+
+def test_layer_config_rejects_duplicate_packages():
+    with pytest.raises(ValueError, match="more than one layer"):
+        LayerConfig((("core",), ("core", "serve")))
+
+
+def test_load_layer_config_walks_up_to_budgets_toml(tmp_path):
+    (tmp_path / "budgets.toml").write_text(
+        '[analysis]\nlayers = [["core"], ["serve"]]\n'
+    )
+    nested = tmp_path / "src" / "repro"
+    nested.mkdir(parents=True)
+    config = load_layer_config(nested)
+    assert config.layers == (("core",), ("serve",))
+    assert config.source.endswith("budgets.toml")
+
+
+def test_load_layer_config_falls_back_to_default(tmp_path):
+    config = load_layer_config(tmp_path)
+    assert config.layers == DEFAULT_LAYERS
+    assert config.source == "builtin"
+
+
+def test_load_layer_config_rejects_malformed_table(tmp_path):
+    (tmp_path / "budgets.toml").write_text('[analysis]\nlayers = "core,serve"\n')
+    with pytest.raises(ValueError, match="array of arrays"):
+        load_layer_config(tmp_path)
+
+
+# -- DOT export ----------------------------------------------------------
+
+
+def test_render_dot_shows_layers_eager_lazy_and_upward():
+    graph, _ = rb006(
+        {
+            "repro/core/bad.py": "from repro.serve.pool import WorkerPool\n",
+            "repro/serve/pool.py": "from repro.core.util import f\n",
+            "repro/core/util.py": """
+                def render():
+                    from repro.link.frames import g
+                    return g
+                """,
+            "repro/link/frames.py": "def g():\n    return 0\n",
+        }
+    )
+    dot = render_dot(graph, DEFAULT_CONFIG)
+    assert dot.startswith("digraph repro_layers {")
+    assert 'label="layer 1"' in dot  # core's cluster exists
+    assert '"serve" -> "core";' in dot  # downward eager edge, plain
+    assert '"core" -> "serve" [color=red' in dot  # the inversion, in red
+    assert "UPWARD" in dot
+    assert '"core" -> "link" [style=dashed' in dot  # lazy edge, dashed
+
+
+# -- the real tree -------------------------------------------------------
+
+
+def test_src_repro_layering_is_clean_and_nontrivial():
+    """RB006 proves the declared DAG holds on the real import graph."""
+    result = analyze_paths([SRC_REPRO], select=["RB006"])
+    offending = [
+        f"{v.path}:{v.line}: {v.message}" for v in result.violations
+    ]
+    assert offending == []
+    assert result.errors == []
+
+
+def test_src_repro_graph_has_real_edges_and_declared_entities():
+    from repro.analysis.engine import _read_module, iter_python_files
+
+    records = [
+        _read_module(p, str(p)) for p in iter_python_files([SRC_REPRO])
+    ]
+    graph = build_project_graph(records)
+    config = load_layer_config(SRC_REPRO)
+    assert config.source.endswith("budgets.toml")  # the committed config
+    assert len(graph.eager_edges()) > 20  # the tree genuinely interconnects
+    levels = config.level_of
+    assert graph.entities() <= set(levels)  # every package is declared
+    # Every eager package edge points level-downward or sideways.
+    for src, dst in graph.entity_edges(eager_only=True):
+        assert levels[src] >= levels[dst], f"upward edge {src} -> {dst}"

@@ -1,0 +1,150 @@
+"""Property tests: the noqa tokenizer and the baseline round-trip.
+
+For arbitrary comment spacing, id separators, casing and placement —
+including after line continuations and multi-line expressions — the
+suppression map must land the right rule-id set on the right physical
+line, and never fire from inside a string literal.  The baseline
+serializer must round-trip arbitrary finding multisets exactly.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    Baseline,
+    apply_baseline,
+    parse_suppressions,
+)
+from repro.analysis.baseline import _key, render_baseline
+from repro.analysis.engine import AnalysisResult, FileReport
+from repro.analysis.rules import Violation
+
+RULE_IDS = st.sampled_from(
+    ["RB000", "RB001", "RB003", "RB005", "RB006", "RB007", "RB010", "RB999"]
+)
+
+#: Horizontal whitespace legal inside a comment.
+hws = st.text(alphabet=" \t", max_size=3)
+
+
+@st.composite
+def noqa_comment(draw):
+    """(comment_text, expected_ids): a syntactically scrambled noqa."""
+    ids = draw(st.lists(RULE_IDS, min_size=0, max_size=4, unique=True))
+    marker = "".join(
+        draw(st.sampled_from([c.lower(), c.upper()])) for c in "repro: noqa"
+    )
+    parts = [f"#{draw(hws)}{marker}"]
+    for rule_id in ids:
+        sep = draw(st.sampled_from([" ", ", ", ",", "  ", " ,"]))
+        cased = rule_id.lower() if draw(st.booleans()) else rule_id
+        parts.append(f"{sep}{cased}")
+    trailer = draw(st.sampled_from(["", "  trailing words", " -- why"]))
+    return "".join(parts) + trailer, frozenset(ids)
+
+
+@given(noqa_comment())
+@settings(max_examples=200)
+def test_arbitrary_noqa_comment_parses(comment_and_ids):
+    comment, expected = comment_and_ids
+    suppressions = parse_suppressions(f"x = 1  {comment}\n")
+    assert 1 in suppressions
+    if expected:
+        assert suppressions[1] == expected
+    else:
+        assert "*" in suppressions[1]
+
+
+@given(noqa_comment(), st.integers(min_value=0, max_value=5))
+@settings(max_examples=100)
+def test_noqa_lands_on_its_physical_line(comment_and_ids, leading_lines):
+    comment, expected = comment_and_ids
+    source = "y = 0\n" * leading_lines + f"x = 1  {comment}\n"
+    suppressions = parse_suppressions(source)
+    assert set(suppressions) == {leading_lines + 1}
+
+
+@given(noqa_comment())
+@settings(max_examples=100)
+def test_noqa_after_line_continuation_stays_on_its_line(comment_and_ids):
+    comment, _ = comment_and_ids
+    # The comment physically sits on line 2 of a continued expression
+    # (and on line 5 of a backslash continuation).
+    source = f"x = (1 +\n     2)  {comment}\n\nz = 3 + \\\n    4  {comment}\n"
+    suppressions = parse_suppressions(source)
+    assert set(suppressions) == {2, 5}
+
+
+@given(noqa_comment())
+@settings(max_examples=100)
+def test_noqa_inside_string_literal_is_inert(comment_and_ids):
+    comment, _ = comment_and_ids
+    source = f"x = {json.dumps(comment)}\ny = '''\n{comment}\n'''\n"
+    assert parse_suppressions(source) == {}
+
+
+@given(st.lists(RULE_IDS, min_size=1, max_size=6, unique=True))
+@settings(max_examples=50)
+def test_multiple_ids_all_register(ids):
+    source = "x = 1  # repro: noqa " + ", ".join(ids) + "\n"
+    assert parse_suppressions(source)[1] == frozenset(ids)
+
+
+# -- baseline round-trip -------------------------------------------------
+
+violations = st.lists(
+    st.builds(
+        Violation,
+        rule=st.sampled_from(["RB001", "RB003", "RB007", "RB010"]),
+        message=st.just("m"),
+        path=st.sampled_from(
+            ["src/repro/a.py", "src/repro/b.py", "src\\repro\\c.py"]
+        ),
+        line=st.integers(min_value=1, max_value=500),
+        col=st.integers(min_value=0, max_value=80),
+    ),
+    max_size=20,
+)
+
+
+def result_of(found):
+    report = FileReport(path="synthetic", violations=list(found))
+    return AnalysisResult(reports=[report])
+
+
+@given(violations)
+@settings(max_examples=100)
+def test_baseline_round_trips_arbitrary_findings(found):
+    result = result_of(found)
+    doc = json.loads(render_baseline(result))
+    loaded = Baseline(counts=doc["counts"], source="mem")
+    assert loaded.total == len(found)
+    # Keys are normalized to forward slashes and count multiplicity.
+    expected: dict[str, int] = {}
+    for violation in found:
+        key = _key(violation.path, violation.rule)
+        assert "\\" not in key
+        expected[key] = expected.get(key, 0) + 1
+    assert loaded.counts == expected
+    # A run judged against its own baseline is entirely grandfathered.
+    outcome = apply_baseline(result, loaded)
+    assert outcome.new == []
+    assert outcome.improved == {}
+    assert outcome.grandfathered == len(found)
+    # Serialization is deterministic: render twice, byte-identical.
+    assert render_baseline(result) == render_baseline(result_of(found))
+
+
+@given(violations, violations)
+@settings(max_examples=100)
+def test_baseline_judgement_counts_add_up(old, new):
+    baseline_doc = json.loads(render_baseline(result_of(old)))
+    baseline = Baseline(counts=baseline_doc["counts"], source="mem")
+    outcome = apply_baseline(result_of(new), baseline)
+    assert outcome.grandfathered + len(outcome.new) == len(new)
+    assert outcome.grandfathered <= baseline.total
+    assert baseline.total - outcome.grandfathered == outcome.improvement_total

@@ -1,0 +1,225 @@
+"""SARIF 2.1.0 reporter: structural validity and content fidelity.
+
+The emitted document is validated against an embedded subset of the
+OASIS 2.1.0 schema — the required top-level shape, the run/tool/rule
+structure, and the result/location constraints GitHub code scanning
+actually enforces on upload.  (The full schema is a network fetch;
+the subset below transcribes its required properties verbatim.)
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    ALL_RULE_IDS,
+    SARIF_SCHEMA_URI,
+    SARIF_VERSION,
+    analyze_paths,
+    render_sarif,
+)
+
+jsonschema = pytest.importorskip("jsonschema")
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC_REPRO = REPO_ROOT / "src" / "repro"
+
+#: Subset of sarif-schema-2.1.0.json: every property named here carries
+#: the type and requiredness the full schema gives it.
+SARIF_SUBSET_SCHEMA = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "$schema": {"type": "string", "format": "uri"},
+        "version": {"enum": ["2.1.0"]},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                                "shortDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["message"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "ruleIndex": {"type": "integer", "minimum": -1},
+                                "level": {
+                                    "enum": ["none", "note", "warning", "error"]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "uri": {"type": "string"}
+                                                        },
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                            "startColumn": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                        },
+                                                    },
+                                                },
+                                            }
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                    "invocations": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["executionSuccessful"],
+                            "properties": {
+                                "executionSuccessful": {"type": "boolean"}
+                            },
+                        },
+                    },
+                    "columnKind": {
+                        "enum": ["utf8", "utf16CodeUnits", "unicodeCodePoints"]
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+def sarif_for(tmp_path, source, relpath="repro/faults/bad.py"):
+    target = tmp_path / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source))
+    return json.loads(render_sarif(analyze_paths([tmp_path])))
+
+
+def validate(doc):
+    jsonschema.validate(doc, SARIF_SUBSET_SCHEMA)
+
+
+# -- structural validity -------------------------------------------------
+
+
+def test_violation_run_validates(tmp_path):
+    doc = sarif_for(
+        tmp_path,
+        """
+        import numpy as np
+
+        def noise(shape):
+            return np.random.rand(*shape)
+        """,
+    )
+    validate(doc)
+    assert doc["version"] == SARIF_VERSION == "2.1.0"
+    assert doc["$schema"] == SARIF_SCHEMA_URI
+    (run,) = doc["runs"]
+    (result,) = run["results"]
+    assert result["ruleId"] == "RB001"
+    assert result["level"] == "error"
+    region = result["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] == 5
+    assert region["startColumn"] >= 1  # SARIF columns are 1-based
+    uri = result["locations"][0]["physicalLocation"]["artifactLocation"]["uri"]
+    assert "\\" not in uri and not uri.startswith("./")
+    assert run["invocations"][0]["executionSuccessful"] is True
+
+
+def test_clean_run_validates_and_carries_catalogue(tmp_path):
+    doc = sarif_for(tmp_path, "def f(rng):\n    return rng.normal()\n")
+    validate(doc)
+    (run,) = doc["runs"]
+    assert run["results"] == []
+    catalogued = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+    assert catalogued[0] == "RB000"
+    assert set(catalogued) == set(ALL_RULE_IDS) | {"RB000"}
+    assert all(rule["shortDescription"]["text"] for rule in run["tool"]["driver"]["rules"])
+    # ruleIndex must agree with the catalogue order for every result.
+    assert catalogued == sorted(catalogued)
+
+
+def test_parse_error_becomes_failed_invocation(tmp_path):
+    doc = sarif_for(tmp_path, "def f(:\n")
+    validate(doc)
+    (run,) = doc["runs"]
+    invocation = run["invocations"][0]
+    assert invocation["executionSuccessful"] is False
+    (note,) = invocation["toolExecutionNotifications"]
+    assert note["level"] == "error"
+    assert "syntax error" in note["message"]["text"]
+
+
+def test_rule_index_points_into_catalogue(tmp_path):
+    doc = sarif_for(
+        tmp_path,
+        """
+        import numpy as np
+
+        def noise(shape):
+            return np.random.rand(*shape)
+        """,
+    )
+    (run,) = doc["runs"]
+    rules = run["tool"]["driver"]["rules"]
+    for result in run["results"]:
+        assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+
+def test_real_tree_sarif_validates():
+    doc = json.loads(render_sarif(analyze_paths([SRC_REPRO])))
+    validate(doc)
+    (run,) = doc["runs"]
+    assert run["results"] == []  # the self-lint contract, in SARIF form
+    assert run["invocations"][0]["executionSuccessful"] is True
